@@ -1,0 +1,77 @@
+"""Ablation — privacy-budget allocation (α₁, α₂, α₃).
+
+The paper (Section 4.4) uses the untuned split (0.1, 0.4, 0.5) and
+notes "these choices were not tuned, and may not be optimal; it appears
+that the optimal allocation depends on characteristics of the dataset".
+This bench sweeps a small α-grid on the mushroom dataset at a mid
+budget and reports FNR/RE per split — quantifying how sensitive
+PrivBasis is to the one hyper-parameter the paper left open.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.runner import pb_spec, run_trials
+
+#: (α₁, α₂, α₃) grid: the paper default plus axis-aligned variations.
+ALPHA_GRID = (
+    (0.1, 0.4, 0.5),    # paper default
+    (0.1, 0.2, 0.7),    # cheap selection, rich counting
+    (0.1, 0.6, 0.3),    # rich selection, cheap counting
+    (0.3, 0.3, 0.4),    # expensive lambda
+    (0.05, 0.45, 0.5),  # cheap lambda
+    (0.2, 0.4, 0.4),    # balanced
+)
+
+K = 100
+EPSILON = 0.5
+TRIALS = 5
+
+
+def bench_ablation_budget(benchmark, root_seed):
+    database = load_dataset("mushroom")
+
+    def measure():
+        rows = []
+        for alphas in ALPHA_GRID:
+            fnrs, res = run_trials(
+                database,
+                pb_spec(K, alphas=alphas),
+                K,
+                EPSILON,
+                trials=TRIALS,
+                seed=root_seed,
+            )
+            rows.append(
+                (
+                    alphas,
+                    sum(fnrs) / len(fnrs),
+                    sum(res) / len(res),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+
+    print()
+    print(
+        "ablation: budget allocation on mushroom "
+        f"(k = {K}, eps = {EPSILON}, {TRIALS} trials)"
+    )
+    print("alpha1  alpha2  alpha3  FNR     RE")
+    for (a1, a2, a3), fnr, re in rows:
+        print(f"{a1:<7g} {a2:<7g} {a3:<7g} {fnr:<7.3f} {re:.4f}")
+
+    by_alphas = {alphas: (fnr, re) for alphas, fnr, re in rows}
+
+    # The paper's default must be competitive: within 0.15 FNR of the
+    # best split in the grid (it was chosen untuned, not optimal).
+    best_fnr = min(fnr for _, fnr, _ in rows)
+    default_fnr = by_alphas[(0.1, 0.4, 0.5)][0]
+    assert default_fnr <= best_fnr + 0.15
+
+    # No split in this neighbourhood is catastrophic on the
+    # single-basis dataset — the algorithm is budget-robust here.
+    assert all(fnr <= 0.5 for _, fnr, _ in rows)

@@ -1,0 +1,126 @@
+"""Scalability — the paper's running-time analysis (Section 4.2).
+
+The paper: Algorithm 1 runs in ``O(w·|D| + w·3^ℓ)``; "w is a linear
+factor on the running time, while ℓ has an exponential effect. In our
+experiments we limit ℓ to be at most 12."  (Our reconstruction uses
+the zeta transform, ``O(ℓ·2^ℓ)`` per basis instead of ``3^ℓ`` — the
+same exponential character with a smaller base.)
+
+Measured here:
+
+* runtime vs basis length ℓ at fixed data size — must grow
+  super-linearly once the ``2^ℓ`` term dominates the scan;
+* runtime vs dataset size N at fixed ℓ — the counting kernel is
+  vectorized numpy over per-item tid-lists, so at laptop scale the
+  scan is *negligible* next to the per-basis transform: runtime must
+  stay nearly flat in N (the paper's ``w·|D|`` term has a far larger
+  constant in the authors' per-transaction loop);
+* runtime vs width w at fixed ℓ and N — near-linear (w more scans
+  and transforms).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core.basis import BasisSet
+from repro.core.basis_freq import basis_freq
+from repro.datasets.synthetic import QuestConfig, generate_quest
+
+EPSILON = 1.0
+
+
+def _database(num_transactions, num_items=40):
+    config = QuestConfig(
+        num_transactions=num_transactions,
+        num_items=num_items,
+        avg_transaction_length=8.0,
+    )
+    return generate_quest(config, rng=13)
+
+
+def _time(function, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_scalability(benchmark):
+    def measure():
+        results = {}
+
+        # (a) vs basis length at N = 2000.
+        database = _database(2000)
+        by_length = {}
+        for length in (4, 8, 12, 14):
+            basis_set = BasisSet([tuple(range(length))])
+            by_length[length] = _time(
+                lambda basis_set=basis_set: basis_freq(
+                    database, basis_set, 10, EPSILON, rng=0
+                )
+            )
+        results["length"] = by_length
+
+        # (b) vs N at ℓ = 8.
+        basis_set = BasisSet([tuple(range(8))])
+        by_n = {}
+        for n in (1000, 4000, 16000):
+            db = _database(n)
+            by_n[n] = _time(
+                lambda db=db: basis_freq(db, basis_set, 10, EPSILON,
+                                         rng=0)
+            )
+        results["transactions"] = by_n
+
+        # (c) vs width at ℓ = 6, N = 2000 (disjoint bases).
+        database = _database(2000, num_items=60)
+        by_width = {}
+        for width in (1, 4, 8):
+            bases = [
+                tuple(range(start * 6, start * 6 + 6))
+                for start in range(width)
+            ]
+            basis_set = BasisSet(bases)
+            by_width[width] = _time(
+                lambda basis_set=basis_set: basis_freq(
+                    database, basis_set, 10, EPSILON, rng=0
+                )
+            )
+        results["width"] = by_width
+        return results
+
+    results = run_once(benchmark, measure)
+
+    print()
+    print("scalability of BasisFreq (best-of-3 wall time, seconds)")
+    for axis, series in results.items():
+        rendered = "  ".join(
+            f"{key}: {value * 1000:.1f}ms" for key, value in series.items()
+        )
+        print(f"  vs {axis:<13} {rendered}")
+
+    by_length = results["length"]
+    by_n = results["transactions"]
+    by_width = results["width"]
+
+    # (a) the exponential term: from l = 12 to 14 the bin/transform
+    # work quadruples; the total must grow clearly super-linearly in
+    # that range (scan time is constant across l here).
+    assert by_length[14] > 2.0 * by_length[12]
+
+    # (b) the vectorized scan keeps N-scaling tame: 16x data costs at
+    # most ~8x time at this scale (in practice it is nearly flat).
+    ratio = by_n[16000] / by_n[1000]
+    assert ratio <= 8.0
+
+    # (c) near-linear in width: 8 bases cost no more than ~16x one
+    # basis and at least 2x.
+    ratio = by_width[8] / by_width[1]
+    assert 2.0 <= ratio <= 16.0

@@ -1,0 +1,45 @@
+"""Table 2(b) — effectiveness of the TF approach.
+
+Regenerates the paper's γ-vs-f_k analysis at ε = 1 (the most favourable
+setting for TF).  The paper's claim: "in many datasets with large k
+(k ≥ 100, or k ≥ 200), we have γ larger than, or very close to f_k" —
+i.e. TF's truncated-frequency pruning and its utility guarantee are
+vacuous exactly where large-k mining matters.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.tables import render_table2b, table2b
+
+
+def bench_table2b(benchmark):
+    rows = run_once(benchmark, table2b)
+    print()
+    print(render_table2b(rows))
+
+    by_name = {row.dataset: row for row in rows}
+    assert set(by_name) == {
+        "retail", "mushroom", "pumsb_star", "kosarak", "aol",
+    }
+
+    # γ grows like 4km·ln|I|/(εN): the large-m / large-k rows must be
+    # degenerate (γ ≥ f_k), reproducing the infeasibility claim.
+    assert by_name["retail"].is_degenerate
+    assert by_name["mushroom"].is_degenerate
+    assert by_name["kosarak"].is_degenerate
+
+    # pumsb-star at ε = 1 is the paper's borderline row: γ·N = 21235
+    # vs f_k·N = 28613 — close to but below f_k.  "Very close" means
+    # within a small factor.
+    pumsb = by_name["pumsb_star"]
+    assert pumsb.gamma_count > 0.5 * pumsb.fk_count
+
+    # |U| magnitudes match the paper: ~|I|^m.
+    assert by_name["pumsb_star"].universe_size > 10**8
+    assert by_name["kosarak"].universe_size > 10**8
+
+    # At a 10x smaller ε every dataset degenerates (γ scales as 1/ε).
+    for row in table2b(epsilon=0.1):
+        assert row.is_degenerate, row.dataset

@@ -1,0 +1,53 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper artefact (table, figure, or
+ablation).  The experiment itself runs exactly once per session —
+``benchmark.pedantic(rounds=1, iterations=1)`` reports wall time
+without re-running multi-minute sweeps — and the regenerated artefact
+is printed so `pytest benchmarks/ --benchmark-only -s` doubles as the
+reproduction report.
+
+Profiles (set ``REPRO_BENCH_PROFILE``):
+
+* ``quick`` (default) — coarse ε grids, registry-scale datasets.
+* ``paper`` — the paper's full ε grids; combine with
+  ``REPRO_FULL_SCALE=1`` for paper-exact dataset sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def root_seed() -> int:
+    """Root seed for all benchmark randomness (the paper's VLDB date)."""
+    return 20120827
+
+
+def series_by_label(figure_result, prefix: str):
+    """The figure's series whose labels start with ``prefix``."""
+    return [
+        series
+        for series in figure_result.series
+        if series.label.startswith(prefix)
+    ]
+
+
+def final_point(series, metric: str) -> float:
+    """The metric value at the largest ε of a series."""
+    values = getattr(series, f"{metric}_mean")
+    return values[-1]
+
+
+def mean_over_grid(series, metric: str) -> float:
+    """The metric averaged over the whole ε grid of a series."""
+    values = getattr(series, f"{metric}_mean")
+    finite = [value for value in values if value == value]
+    return sum(finite) / len(finite) if finite else float("nan")

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Census scenario: dense categorical data and consistency repair.
+
+PUMS census extracts (the paper's pumsb-star dataset) are dense: every
+record sets ~50 attribute values and the frequent itemsets are deep
+(the top-150 is dominated by size-3+ itemsets).  λ here is around a
+dozen — right at the paper's single-basis boundary — so PrivBasis
+builds just a handful of short bases (or a single one, at k = 50)
+whose powerset bins cover all those deep combinations at once.
+
+Dense data makes structural noise artifacts visible: a noisy count of
+a 4-attribute combination can exceed that of its own sub-combination,
+which is impossible for true counts.  The example applies the
+consistency repair (free post-processing — DP is closed under it) and
+measures what it buys at several budgets.
+
+Run:  python examples/census_attributes.py
+"""
+
+from repro import load_dataset, privbasis
+from repro.core.postprocess import enforce_consistency, is_consistent
+
+K = 150
+
+
+def main() -> None:
+    database = load_dataset("pumsb_star")
+    n = database.num_transactions
+    print(
+        f"census extract: {n} records, {database.num_items} attribute "
+        f"values,\navg {database.avg_transaction_length:.0f} values per "
+        f"record (dense!)\n"
+    )
+
+    print(
+        f"{'epsilon':<8} {'basis':<12} {'deep sets':>9} "
+        f"{'consistent?':>12} {'raw err':>9} {'fixed err':>10}"
+    )
+    for epsilon in (0.1, 0.25, 0.5, 1.0):
+        release = privbasis(database, k=K, epsilon=epsilon, rng=31)
+        basis = (
+            f"1 x {release.basis_set.length} items"
+            if release.used_single_basis
+            else f"w = {release.basis_set.width}"
+        )
+        deep = sum(
+            1 for entry in release.itemsets if len(entry.itemset) >= 3
+        )
+
+        family = {
+            entry.itemset: (entry.noisy_count, entry.count_variance)
+            for entry in release.itemsets
+        }
+        consistent = is_consistent(family, num_transactions=n)
+        repaired = enforce_consistency(family, num_transactions=n)
+
+        raw_error = sum(
+            abs(entry.noisy_count - database.support(entry.itemset))
+            for entry in release.itemsets
+        ) / len(release.itemsets)
+        fixed_error = sum(
+            abs(repaired[entry.itemset][0]
+                - database.support(entry.itemset))
+            for entry in release.itemsets
+        ) / len(release.itemsets)
+
+        print(
+            f"{epsilon:<8g} {basis:<12} {deep:>9} "
+            f"{str(consistent):>12} {raw_error:>9.1f} {fixed_error:>10.1f}"
+        )
+
+    print(
+        "\nReading the table: a few short bases cover all of the deep "
+        "itemsets; raw\nreleases at small epsilon violate "
+        "anti-monotonicity (consistent? False)\nand the repair "
+        "shaves the mean absolute count error for free."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Market-basket scenario: a retailer publishes co-purchase patterns.
+
+A Belgian retail chain wants to share its frequent co-purchase
+itemsets with suppliers without exposing any individual receipt.  This
+example
+
+1. releases the top-k itemsets of a retail-style dataset under ε-DP
+   (PrivBasis, multi-basis regime: the top-k here spans dozens of
+   distinct items, so a single basis would blow up as 2^λ);
+2. derives association rules from the release — free post-processing,
+   no extra privacy budget;
+3. contrasts the release quality with the TF baseline at the same ε.
+
+Run:  python examples/market_basket_release.py [epsilon]
+"""
+
+import sys
+
+from repro import load_dataset, privbasis, rules_from_release, tf_method
+from repro.fim.topk import top_k_itemsets
+from repro.metrics.utility import evaluate_release
+
+EPSILON = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+K = 100
+
+
+def main() -> None:
+    database = load_dataset("retail")
+    print(
+        f"retail dataset: {database.num_transactions} receipts, "
+        f"{database.num_items} products, "
+        f"avg {database.avg_transaction_length:.1f} items per receipt"
+    )
+    print(f"privacy budget epsilon = {EPSILON}, releasing top {K}\n")
+
+    # --- 1. The private release -------------------------------------
+    release = privbasis(database, k=K, epsilon=EPSILON, rng=2012)
+    print(
+        f"PrivBasis chose lambda = {release.lam} items, "
+        f"{len(release.frequent_pairs)} pairs, and a basis set of "
+        f"width {release.basis_set.width} / "
+        f"length {release.basis_set.length}"
+    )
+
+    exact = top_k_itemsets(database, K)
+    metrics = evaluate_release(release, database, exact)
+    print(
+        f"release quality: FNR {metrics['fnr']:.2f}, "
+        f"median relative error {metrics['relative_error']:.3f}\n"
+    )
+
+    # --- 2. Association rules from the release (no extra budget) -----
+    rules = rules_from_release(
+        release, min_confidence=0.3, max_consequent_size=1
+    )
+    print(f"association rules at confidence >= 0.3: {len(rules)}")
+    for rule in rules[:8]:
+        print(f"  {rule}")
+    if len(rules) > 8:
+        print(f"  ... and {len(rules) - 8} more")
+    print()
+
+    # --- 3. The baseline at the same budget ---------------------------
+    # TF with m = 1 (the paper's best-precision choice on retail:
+    # anything larger makes gamma blow up past f_k).
+    baseline = tf_method(database, k=K, epsilon=EPSILON, m=1, rng=2012)
+    baseline_metrics = evaluate_release(baseline, database, exact)
+    print(
+        f"TF baseline (m = 1): FNR {baseline_metrics['fnr']:.2f}, "
+        f"median relative error {baseline_metrics['relative_error']:.3f}"
+    )
+    print(
+        "PrivBasis finds "
+        f"{(1 - metrics['fnr']) * 100:.0f}% of the true top-{K}; "
+        f"TF finds {(1 - baseline_metrics['fnr']) * 100:.0f}%."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Search-log scenario: publish frequent query keywords and co-occurring
+keyword pairs from a search log, per-user private.
+
+Search logs are the canonical cautionary tale for naive release (the
+2006 AOL incident).  Here each transaction is the set of keywords one
+user searched for; the release protects any single user's entire
+keyword set being added or removed.
+
+This dataset sits in the paper's λ ≈ k regime: the frequent itemsets
+are overwhelmingly single keywords, so PrivBasis builds many small
+bases (size ≤ 3 — the error-variance sweet spot) instead of one wide
+one.  The example inspects that structure and compares against both
+the TF baseline and the strawman of one basis per keyword.
+
+Run:  python examples/search_log_keywords.py [epsilon]
+"""
+
+import sys
+from collections import Counter
+
+from repro import load_dataset, privbasis, tf_method
+from repro.fim.topk import top_k_itemsets
+from repro.metrics.utility import evaluate_release
+
+EPSILON = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+K = 200
+
+
+def main() -> None:
+    database = load_dataset("aol")
+    print(
+        f"search log: {database.num_transactions} users, "
+        f"{database.num_items} distinct keywords"
+    )
+    print(f"releasing top {K} keyword sets at epsilon = {EPSILON}\n")
+
+    release = privbasis(database, k=K, epsilon=EPSILON, rng=1998)
+
+    # The regime: lambda close to k, nothing deep.
+    sizes = Counter(len(entry.itemset) for entry in release.itemsets)
+    print(f"lambda selected privately: {release.lam} (k = {K})")
+    print(
+        "released itemset sizes: "
+        + ", ".join(f"{size}: {count}" for size, count in sorted(sizes.items()))
+    )
+
+    # Basis geometry: many small bases, none near the 2^l blow-up.
+    basis_lengths = Counter(
+        len(basis) for basis in release.basis_set.bases
+    )
+    print(
+        f"basis set: width {release.basis_set.width}, lengths "
+        + ", ".join(
+            f"{length}x{count}"
+            for length, count in sorted(basis_lengths.items())
+        )
+    )
+    print(
+        "(Section 4.2: grouping singletons into bases of size 3 cuts "
+        "error\nvariance to 4/9 of adding independent noise per "
+        "keyword.)\n"
+    )
+
+    exact = top_k_itemsets(database, K)
+    ours = evaluate_release(release, database, exact)
+
+    baseline = tf_method(database, k=K, epsilon=EPSILON, m=1, rng=1998)
+    theirs = evaluate_release(baseline, database, exact)
+
+    print(f"{'method':<22} {'FNR':>6} {'median RE':>10}")
+    print(
+        f"{'PrivBasis':<22} {ours['fnr']:>6.3f} "
+        f"{ours['relative_error']:>10.4f}"
+    )
+    print(
+        f"{'TF (m = 1)':<22} {theirs['fnr']:>6.3f} "
+        f"{theirs['relative_error']:>10.4f}"
+    )
+    print(
+        "\nThis is TF's best case (the paper's Figure 5): with m = 1 "
+        "it reduces to\nfrequent-keyword mining, which nearly matches "
+        "PB when the top-k is almost\nall singletons — but it cannot "
+        "see pairs at all."
+    )
+
+    pairs = [
+        entry for entry in release.itemsets if len(entry.itemset) == 2
+    ]
+    if pairs:
+        print(f"\nkeyword pairs PrivBasis still surfaced: {len(pairs)}")
+        for entry in pairs[:5]:
+            print(
+                "  {"
+                + ", ".join(map(str, entry.itemset))
+                + f"}}  noisy f = {entry.noisy_frequency:.4f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Baselines the paper compares against."""
+
+from repro.baselines.dpsynth import (
+    dpsynth_release,
+    dpsynth_top_k,
+    taxonomy_height,
+)
+from repro.baselines.nonprivate import exact_top_k
+from repro.baselines.tf import DEFAULT_EXPLICIT_CAP, tf_method
+from repro.baselines.tf_analysis import (
+    TFFeasibility,
+    candidate_family_size,
+    gamma_threshold,
+    log_candidate_family_size,
+    tf_feasibility,
+)
+
+__all__ = [
+    "DEFAULT_EXPLICIT_CAP",
+    "TFFeasibility",
+    "candidate_family_size",
+    "dpsynth_release",
+    "dpsynth_top_k",
+    "exact_top_k",
+    "gamma_threshold",
+    "log_candidate_family_size",
+    "taxonomy_height",
+    "tf_feasibility",
+    "tf_method",
+]

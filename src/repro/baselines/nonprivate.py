@@ -1,0 +1,39 @@
+"""Non-private top-k reference, in the shared result shape.
+
+Useful as the ε → ∞ anchor in experiments: both PrivBasis and TF
+should converge to this as the budget grows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.result import NoisyItemset, PrivateFIMResult
+from repro.datasets.registry import cached_top_k
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import ValidationError
+
+
+def exact_top_k(
+    database: TransactionDatabase, k: int
+) -> PrivateFIMResult:
+    """The exact top-k itemsets with exact frequencies (no privacy)."""
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    n = float(database.num_transactions) or 1.0
+    top = cached_top_k(database, k)
+    itemsets: List[NoisyItemset] = [
+        NoisyItemset(
+            itemset=itemset,
+            noisy_count=float(support),
+            noisy_frequency=support / n,
+            count_variance=0.0,
+        )
+        for itemset, support in top
+    ]
+    return PrivateFIMResult(
+        itemsets=itemsets,
+        k=k,
+        epsilon=float("inf"),
+        method="exact",
+    )

@@ -1,0 +1,133 @@
+"""Feasibility analysis of the TF method (paper Section 3.1, Table 2(b)).
+
+TF's truncation threshold is ``f_k − γ`` with
+
+    γ = (4k / εN) · (ln(k/ρ) + ln|U|),         (paper Equation 3)
+
+where ``U`` is the family of itemsets of length ≤ m, ``|U| =
+Σ_{i≤m} C(|I|, i) ≈ |I|^m``.  When γ ≥ f_k the truncation prunes
+nothing, the utility guarantee ("every selected itemset has true
+frequency ≥ f_k − γ") is vacuous, and the algorithm degenerates —
+Table 2(b) shows this happens on most datasets at practically relevant
+k.  This module computes all Table 2(b) columns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.datasets.registry import cached_top_k
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import ValidationError
+
+
+def candidate_family_size(num_items: int, m: int) -> int:
+    """``|U| = Σ_{i=1..m} C(|I|, i)`` — exact (arbitrary precision)."""
+    if num_items < 1:
+        raise ValidationError(f"num_items must be >= 1, got {num_items}")
+    if m < 1:
+        raise ValidationError(f"m must be >= 1, got {m}")
+    return sum(math.comb(num_items, size) for size in range(1, m + 1))
+
+
+def log_candidate_family_size(num_items: int, m: int) -> float:
+    """``ln|U|`` computed stably for huge vocabularies."""
+    size = candidate_family_size(num_items, m)
+    # Python ints are exact; math.log handles arbitrary precision ints.
+    return math.log(size)
+
+
+def gamma_threshold(
+    k: int,
+    epsilon: float,
+    num_transactions: int,
+    num_items: int,
+    m: int,
+    rho: float = 0.9,
+) -> float:
+    """Paper Equation 3: the truncation margin γ (a frequency)."""
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if not (epsilon > 0):
+        raise ValidationError(f"epsilon must be positive, got {epsilon}")
+    if num_transactions < 1:
+        raise ValidationError("num_transactions must be >= 1")
+    if not 0 < rho < 1:
+        raise ValidationError(f"rho must be in (0, 1), got {rho}")
+    log_universe = log_candidate_family_size(num_items, m)
+    return (
+        4.0
+        * k
+        / (epsilon * num_transactions)
+        * (math.log(k / rho) + log_universe)
+    )
+
+
+@dataclass(frozen=True)
+class TFFeasibility:
+    """One row of Table 2(b)."""
+
+    dataset: str
+    k: int
+    m: int
+    fk: float
+    fk_count: float           # f_k · N (the paper's column)
+    universe_size: int        # |U|
+    gamma: float
+    gamma_count: float        # γ · N (the paper's column)
+    epsilon: float
+    rho: float
+
+    @property
+    def truncation_frequency(self) -> float:
+        """``f_k − γ``; ≤ 0 means no pruning at all."""
+        return self.fk - self.gamma
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when γ ≥ f_k (TF's guarantee is vacuous)."""
+        return self.gamma >= self.fk
+
+
+def tf_feasibility(
+    database: TransactionDatabase,
+    k: int,
+    m: int,
+    epsilon: float = 1.0,
+    rho: float = 0.9,
+    dataset: str = "",
+) -> TFFeasibility:
+    """Compute the Table 2(b) row for a dataset / k / m combination.
+
+    The paper's table uses ε = 1 (most favourable to TF).
+    """
+    n = database.num_transactions
+    top = cached_top_k(database, k, max_length=m)
+    if len(top) >= k:
+        fk = top[k - 1][1] / n
+    elif top:
+        fk = top[-1][1] / n
+    else:
+        fk = 0.0
+    gamma = gamma_threshold(
+        k=k,
+        epsilon=epsilon,
+        num_transactions=n,
+        num_items=database.num_items,
+        m=m,
+        rho=rho,
+    )
+    return TFFeasibility(
+        dataset=dataset,
+        k=k,
+        m=m,
+        fk=fk,
+        fk_count=fk * n,
+        universe_size=candidate_family_size(database.num_items, m),
+        gamma=gamma,
+        gamma_count=gamma * n,
+        epsilon=epsilon,
+        rho=rho,
+    )

@@ -1,0 +1,66 @@
+"""The PrivBasis core: basis sets and the private mining pipeline."""
+
+from repro.core.basis import (
+    DEFAULT_MAX_BASIS_LENGTH,
+    BasisSet,
+    single_basis,
+)
+from repro.core.basis_freq import (
+    basis_freq,
+    itemset_estimates_from_bins,
+    noisy_bin_counts,
+)
+from repro.core.construct_basis import construct_basis_set
+from repro.core.error_variance import (
+    average_case_ev,
+    bin_count_variance,
+    combine_estimates,
+    combine_variances,
+    itemset_count_variance,
+    itemset_frequency_variance,
+    singleton_grouping_ev,
+)
+from repro.core.freq_elements import (
+    get_frequent_items,
+    get_frequent_pairs,
+    select_top_by_count,
+)
+from repro.core.lambda_select import get_lambda
+from repro.core.postprocess import enforce_consistency, is_consistent
+from repro.core.privbasis import (
+    DEFAULT_ALPHAS,
+    SINGLE_BASIS_LAMBDA,
+    default_eta,
+    privbasis,
+)
+from repro.core.result import NoisyItemset, PrivateFIMResult, PrivBasisResult
+
+__all__ = [
+    "BasisSet",
+    "DEFAULT_ALPHAS",
+    "DEFAULT_MAX_BASIS_LENGTH",
+    "NoisyItemset",
+    "PrivBasisResult",
+    "PrivateFIMResult",
+    "SINGLE_BASIS_LAMBDA",
+    "average_case_ev",
+    "basis_freq",
+    "bin_count_variance",
+    "combine_estimates",
+    "combine_variances",
+    "construct_basis_set",
+    "default_eta",
+    "enforce_consistency",
+    "get_frequent_items",
+    "get_frequent_pairs",
+    "get_lambda",
+    "itemset_count_variance",
+    "is_consistent",
+    "itemset_estimates_from_bins",
+    "itemset_frequency_variance",
+    "noisy_bin_counts",
+    "privbasis",
+    "select_top_by_count",
+    "single_basis",
+    "singleton_grouping_ev",
+]

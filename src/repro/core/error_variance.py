@@ -1,0 +1,157 @@
+"""Error-variance analysis of basis-set releases (paper Section 4.2).
+
+Releasing the bin counts of a width-``w`` basis set adds independent
+``Lap(w/ε)`` noise to each bin.  Reconstructing the count of an itemset
+``X`` from basis ``B_i ⊇ X`` sums ``2^{|B_i|−|X|}`` noisy bins, so (paper
+Equation 4)::
+
+    EV[nf_i(X)] = 2^{|B_i|−|X|+1} · w² / (ε²N²)
+
+When several bases cover ``X`` the estimates combine by inverse-variance
+weighting (the minimum-variance unbiased combination), giving
+``v₁v₂/(v₁+v₂)``.  The greedy basis constructor (Algorithm 2) minimizes
+the *average-case* EV over the query family (the frequent items and
+pairs); only *relative* variances matter there, so the helpers below
+expose both absolute and relative forms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.fim.itemsets import Itemset
+
+#: Relative variance unit: the variance of a single noisy bin count is
+#: 2·(w/ε)²; we factor out 2·w²/ε² (and 1/N² for frequencies) so a
+#: single bin has relative variance 1.
+def bin_count_variance(width: int, epsilon: float) -> float:
+    """Absolute variance of one noisy bin *count*: 2 (w/ε)²."""
+    _validate(width, epsilon)
+    scale = width / epsilon
+    return 2.0 * scale * scale
+
+
+def itemset_count_variance(
+    basis_length: int, itemset_size: int, width: int, epsilon: float
+) -> float:
+    """Variance of an itemset *count* recovered from one basis.
+
+    Sum of ``2^{ℓ−|X|}`` independent noisy bins (paper Equation 4, in
+    count rather than frequency units).
+    """
+    _validate(width, epsilon)
+    if itemset_size > basis_length:
+        raise ValidationError(
+            f"itemset of size {itemset_size} cannot be covered by a "
+            f"basis of length {basis_length}"
+        )
+    return (
+        float(2 ** (basis_length - itemset_size))
+        * bin_count_variance(width, epsilon)
+    )
+
+
+def itemset_frequency_variance(
+    basis_length: int,
+    itemset_size: int,
+    width: int,
+    epsilon: float,
+    num_transactions: int,
+) -> float:
+    """Paper Equation 4 verbatim: ``2^{ℓ−|X|+1} w² / (ε²N²)``."""
+    if num_transactions < 1:
+        raise ValidationError("num_transactions must be >= 1")
+    return itemset_count_variance(
+        basis_length, itemset_size, width, epsilon
+    ) / float(num_transactions) ** 2
+
+
+def combine_variances(variances: Sequence[float]) -> float:
+    """Variance of the inverse-variance-weighted average.
+
+    ``1 / Σ (1/vᵢ)`` — for two estimates this is the paper's
+    ``v₁v₂/(v₁+v₂)``.
+    """
+    if not variances:
+        raise ValidationError("need at least one variance to combine")
+    if any(not (v > 0) for v in variances):
+        raise ValidationError(f"variances must be positive: {variances!r}")
+    return 1.0 / math.fsum(1.0 / v for v in variances)
+
+
+def combine_estimates(
+    estimates: Sequence[float], variances: Sequence[float]
+) -> Tuple[float, float]:
+    """Inverse-variance-weighted average and its variance.
+
+    This is the streaming rule of Algorithm 1 lines 21–23 applied to
+    the full list at once: weights ∝ 1/vᵢ.
+    """
+    if len(estimates) != len(variances) or not estimates:
+        raise ValidationError("estimates and variances must align")
+    combined_variance = combine_variances(variances)
+    value = combined_variance * math.fsum(
+        estimate / variance
+        for estimate, variance in zip(estimates, variances)
+    )
+    return value, combined_variance
+
+
+def average_case_ev(
+    bases: Sequence[Iterable[int]],
+    queries: Sequence[Itemset],
+) -> float:
+    """Relative average-case error variance of a basis configuration.
+
+    The quantity paper Algorithm 2 greedily minimizes: for each query
+    itemset, the inverse-variance-combined relative variance across all
+    covering bases, averaged over the query family, with the global
+    ``w²`` sensitivity factor included (merging changes ``w``, which is
+    exactly why merging can help).  Units: multiples of ``2/ε²`` in
+    count space; only differences matter to the greedy search.
+
+    Returns ``inf`` if any query is uncovered, so greedy moves can
+    never trade coverage away.
+    """
+    basis_sets: List[Set[int]] = [set(basis) for basis in bases]
+    width = len(basis_sets)
+    if width == 0:
+        return math.inf
+    total = 0.0
+    for query in queries:
+        query_set = set(query)
+        inverse_sum = 0.0
+        for basis in basis_sets:
+            if query_set <= basis:
+                inverse_sum += 2.0 ** -(len(basis) - len(query_set))
+        if inverse_sum == 0.0:
+            return math.inf
+        total += 1.0 / inverse_sum
+    if not queries:
+        return 0.0
+    return (width * width) * total / len(queries)
+
+
+def singleton_grouping_ev(group_size: int, k: int) -> float:
+    """Relative EV of querying ``k`` singletons via size-ℓ bases.
+
+    The paper's closed-form special case (Section 4.2): splitting k
+    items into ``w = k/ℓ`` bases of size ℓ gives per-item variance
+    ``(2^{ℓ−1}/ℓ²)·k²·V`` — minimized at ℓ = 3, where it is 4/9 of the
+    direct (one-basis-per-item) method.  Returned in units of
+    ``k²·V``.
+    """
+    if group_size < 1:
+        raise ValidationError(f"group_size must be >= 1, got {group_size}")
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    return float(2 ** (group_size - 1)) / float(group_size * group_size)
+
+
+def _validate(width: int, epsilon: float) -> None:
+    if width < 1:
+        raise ValidationError(f"width must be >= 1, got {width}")
+    if not (epsilon > 0):
+        raise ValidationError(f"epsilon must be positive, got {epsilon}")

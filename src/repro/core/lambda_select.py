@@ -1,0 +1,91 @@
+"""GetLambda — paper Algorithm 3, lines 18–28.
+
+Privately estimates λ, the number of distinct items involved in the
+top-k itemsets, by selecting the item *rank* whose frequency is closest
+to the frequency of the (k·η)-th most frequent itemset: if the j-th
+most frequent item has frequency ≈ f_{k·η}, then about j items lie at
+or above the top-k frequency range.
+
+The exponential mechanism uses quality ``q(D, j) = (1 − |f_itemⱼ −
+θ|)·N`` with global sensitivity 1 (adding one transaction moves both
+frequencies by at most 1/N *in the same direction*, so their difference
+moves by at most 1/N).  The absolute value breaks the one-sided
+condition, so the standard ε/2 exponent applies — exactly the
+pseudocode's ``e^{(1−|f−θ|)·N·ε/2}``.
+
+The safety margin η (1.1 or 1.2) inflates k before taking θ so that λ
+errs on the large side: an overestimate only spreads the item-selection
+budget thinner, while an underestimate silently drops top-k itemsets
+(paper Section 4.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.datasets.registry import cached_top_k
+from repro.datasets.transactions import TransactionDatabase
+from repro.dp.exponential import exponential_mechanism
+from repro.dp.rng import RngLike, ensure_rng
+from repro.errors import ValidationError
+
+
+def get_lambda(
+    database: TransactionDatabase,
+    k: int,
+    epsilon: float,
+    eta: float = 1.1,
+    rng: RngLike = None,
+) -> int:
+    """Sample λ via the exponential mechanism (ε-DP).
+
+    Returns a rank in ``[1, number of items with positive support]``.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if not (epsilon > 0):
+        raise ValidationError(f"epsilon must be positive, got {epsilon}")
+    if eta < 1.0:
+        raise ValidationError(f"eta must be >= 1, got {eta}")
+    generator = ensure_rng(rng)
+    n = database.num_transactions
+    if n == 0:
+        raise ValidationError("database is empty")
+
+    theta = _kth_itemset_frequency(database, int(math.ceil(k * eta)))
+    frequencies = np.sort(database.item_frequencies())[::-1]
+    # Restrict to ranks of items that actually occur: trailing
+    # zero-frequency ranks all share one quality value and would only
+    # dilute the selection (they are never the right λ).
+    positive = int(np.count_nonzero(frequencies))
+    if positive == 0:
+        raise ValidationError("database has no non-empty transactions")
+    frequencies = frequencies[:positive]
+
+    qualities = (1.0 - np.abs(frequencies - theta)) * n
+    index = exponential_mechanism(
+        qualities,
+        epsilon=epsilon,
+        sensitivity=1.0,
+        one_sided=False,
+        rng=generator,
+    )
+    return index + 1  # ranks are 1-based
+
+
+def _kth_itemset_frequency(
+    database: TransactionDatabase, k_inflated: int
+) -> float:
+    """θ = frequency of the (k·η)-th most frequent itemset.
+
+    Computed exactly; its data-dependence is accounted for inside the
+    exponential mechanism's sensitivity-1 quality function.
+    """
+    top = cached_top_k(database, k_inflated)
+    if not top:
+        return 0.0
+    if len(top) < k_inflated:
+        return top[-1][1] / database.num_transactions
+    return top[k_inflated - 1][1] / database.num_transactions

@@ -1,0 +1,193 @@
+"""PrivBasis — paper Algorithm 3 (the main pipeline).
+
+Five steps, with the privacy budget ε split α₁/α₂/α₃ = 0.1/0.4/0.5:
+
+1. ``GetLambda`` (α₁ε) — estimate λ, the number of distinct items in
+   the top-k itemsets (safety-inflated by η).
+2. If λ ≤ 12: ``GetFreqItems`` (α₂ε) selects the λ most frequent items
+   ``F`` and the basis set is the single basis ``{F}``
+   (Proposition 2).
+3. Otherwise the α₂ε item budget is split λ:λ₂ between selecting λ
+   items and λ₂ pairs, where λ₂ is the paper's damped heuristic
+   ``(η·k − λ)/√max(1, (η·k−λ)/λ)``.
+4. ``ConstructBasisSet`` (no data access) turns ``(F, P)`` into a basis
+   set via maximal cliques + greedy EV merging.
+5. ``BasisFreq`` (α₃ε) releases noisy counts of all covered itemsets
+   and picks the top k.
+
+Sequential composition over the data-touching steps gives ε-DP in
+total (paper Theorem 6); the :class:`~repro.dp.budget.PrivacyBudget`
+ledger enforces it at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.core.basis import DEFAULT_MAX_BASIS_LENGTH, BasisSet, single_basis
+from repro.core.basis_freq import basis_freq
+from repro.core.construct_basis import construct_basis_set
+from repro.core.freq_elements import get_frequent_items, get_frequent_pairs
+from repro.core.lambda_select import get_lambda
+from repro.core.result import PrivBasisResult
+from repro.datasets.transactions import TransactionDatabase
+from repro.dp.budget import PrivacyBudget
+from repro.dp.rng import RngLike, ensure_rng
+from repro.errors import ValidationError
+
+#: Budget fractions (α₁, α₂, α₃) — the paper's untuned default.
+DEFAULT_ALPHAS: Tuple[float, float, float] = (0.1, 0.4, 0.5)
+
+#: λ at or below which a single basis of the λ most frequent items is
+#: used (paper Section 4.4: "Step 3 is needed only when λ > 12").
+SINGLE_BASIS_LAMBDA = 12
+
+
+def default_eta(k: int) -> float:
+    """The paper's safety margin: 1.1 or 1.2 "depending on k".
+
+    Small k leaves more room for the relative inflation, so we use 1.2
+    up to k = 100 and 1.1 beyond.
+    """
+    return 1.2 if k <= 100 else 1.1
+
+
+def privbasis(
+    database: TransactionDatabase,
+    k: int,
+    epsilon: float,
+    eta: Optional[float] = None,
+    alphas: Tuple[float, float, float] = DEFAULT_ALPHAS,
+    max_basis_length: int = DEFAULT_MAX_BASIS_LENGTH,
+    single_basis_lambda: int = SINGLE_BASIS_LAMBDA,
+    greedy_basis_optimization: bool = True,
+    noise: str = "laplace",
+    rng: RngLike = None,
+) -> PrivBasisResult:
+    """Release the top-``k`` frequent itemsets under ε-DP.
+
+    Parameters
+    ----------
+    database:
+        The transaction database (vocabulary is treated as public).
+    k:
+        Number of itemsets to publish.
+    epsilon:
+        Total privacy budget.
+    eta:
+        Safety-margin parameter η ≥ 1; defaults to
+        :func:`default_eta`.
+    alphas:
+        Budget fractions (α₁, α₂, α₃) for steps 1 / 2–3 / 5; must be
+        positive and sum to 1.
+    max_basis_length:
+        Hard cap ℓ on basis length (bins are 2^ℓ).
+    single_basis_lambda:
+        λ threshold for the single-basis fast path.
+    greedy_basis_optimization:
+        Forwarded to :func:`construct_basis_set`; False skips the
+        greedy EV merge/dissolve phases (ablation switch).
+    noise:
+        Bin-noise mechanism for step 5: ``"laplace"`` (paper) or
+        ``"geometric"`` (discrete analogue; extension).
+    rng:
+        Seed or generator for all randomness.
+
+    Returns
+    -------
+    PrivBasisResult
+        Published itemsets with noisy frequencies, plus diagnostics
+        (λ, F, P, the basis set, and the budget ledger).
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if len(alphas) != 3:
+        raise ValidationError(f"alphas must have 3 entries, got {alphas!r}")
+    if abs(sum(alphas) - 1.0) > 1e-9:
+        raise ValidationError(
+            f"alphas must sum to 1, got {alphas!r} (sum {sum(alphas):g})"
+        )
+    if eta is None:
+        eta = default_eta(k)
+    generator = ensure_rng(rng)
+    budget = PrivacyBudget(epsilon)
+    alpha1_eps, alpha2_eps, alpha3_eps = budget.split(alphas)
+
+    # Step 1: λ.
+    lam = get_lambda(database, k, alpha1_eps, eta=eta, rng=generator)
+    budget.spend(alpha1_eps, "get_lambda")
+    lam = min(lam, database.num_items)
+
+    if lam <= single_basis_lambda:
+        # Steps 2 + 4 (degenerate): single basis of the λ top items.
+        frequent_items = get_frequent_items(
+            database, lam, alpha2_eps, rng=generator
+        )
+        budget.spend(alpha2_eps, "get_frequent_items")
+        basis_set = single_basis(frequent_items)
+        frequent_pairs: Tuple = ()
+    else:
+        lam2 = _pair_budget_size(lam, k, eta)
+        available_pairs = lam * (lam - 1) // 2
+        lam2 = min(lam2, available_pairs)
+        if lam2 >= 1:
+            beta1_eps = alpha2_eps * lam / (lam + lam2)
+            beta2_eps = alpha2_eps - beta1_eps
+        else:
+            beta1_eps, beta2_eps = alpha2_eps, 0.0
+        frequent_items = get_frequent_items(
+            database, lam, beta1_eps, rng=generator
+        )
+        budget.spend(beta1_eps, "get_frequent_items")
+        if lam2 >= 1:
+            pairs = get_frequent_pairs(
+                database, frequent_items, lam2, beta2_eps, rng=generator
+            )
+            budget.spend(beta2_eps, "get_frequent_pairs")
+        else:
+            pairs = []
+        frequent_pairs = tuple(sorted(pairs))
+        # Step 4: no data access, no budget.
+        basis_set = construct_basis_set(
+            frequent_items,
+            frequent_pairs,
+            max_basis_length,
+            greedy_optimize=greedy_basis_optimization,
+        )
+
+    # Step 5: noisy counts over C(B), top-k selection.
+    release = basis_freq(
+        database, basis_set, k, alpha3_eps, rng=generator, noise=noise
+    )
+    budget.spend(alpha3_eps, "basis_freq")
+    budget.assert_within_budget()
+
+    return PrivBasisResult(
+        itemsets=release.itemsets,
+        k=k,
+        epsilon=epsilon,
+        method="privbasis",
+        lam=lam,
+        frequent_items=tuple(sorted(frequent_items)),
+        frequent_pairs=tuple(frequent_pairs),
+        basis_set=basis_set,
+        budget=budget,
+    )
+
+
+def _pair_budget_size(lam: int, k: int, eta: float) -> int:
+    """The paper's λ₂ heuristic (Section 4.4).
+
+    ``λ₂' = η·k − λ`` damped by ``√max(1, λ₂'/λ)``: when far more pairs
+    than items would be requested, most of the top-k are actually
+    deeper itemsets over few items, so fewer explicit pairs suffice
+    (worked example in the paper: pumsb-star, λ = 20 → λ₂ = 44).
+    """
+    lam2_raw = eta * k - lam
+    if lam2_raw <= 0:
+        return 0
+    damped = lam2_raw / math.sqrt(max(1.0, lam2_raw / lam))
+    # Floor, not round: the paper's worked example (λ = 20, k = 100,
+    # η = 1.2 → λ₂ = 44) implies ⌊100/√5⌋ = 44.
+    return max(1, int(damped))

@@ -1,0 +1,155 @@
+"""Threshold-mode frontend: publish all itemsets with frequency ≥ θ.
+
+The paper (Section 4, opening): "If one desires to publish all
+itemsets above a given threshold θ, one can compute the value k such
+that the k'th most frequent itemset has frequency ≥ θ and the k+1'th
+itemset has frequency < θ, and then uses PrivBasis to find the top k
+frequent itemsets."
+
+The paper leaves the privacy of that k-computation implicit; computing
+k exactly from the data would leak.  We make it explicit and private:
+
+1. (ε_k) Select k via the exponential mechanism over a candidate grid,
+   with quality ``q(D, k) = −|f_k − θ|·N`` — the same trick as the
+   paper's GetLambda, and with the same sensitivity bound: adding or
+   removing one transaction moves the k-th itemset frequency f_k by at
+   most 1/N, so GS_q = 1.
+2. (ε − ε_k) Run PrivBasis with the selected k.
+3. Post-processing (free): drop released itemsets whose *noisy*
+   frequency is below θ.
+
+The output is therefore ε-DP in total.  Step 3 trades false positives
+for false negatives near the threshold exactly as the noisy
+frequencies dictate; no additional data access happens.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.privbasis import DEFAULT_ALPHAS, privbasis
+from repro.core.result import PrivBasisResult
+from repro.datasets.transactions import TransactionDatabase
+from repro.dp.exponential import exponential_mechanism
+from repro.dp.rng import RngLike, ensure_rng
+from repro.errors import ValidationError
+from repro.fim.topk import top_k_itemsets
+
+#: Fraction of ε spent on selecting k (the rest goes to PrivBasis).
+DEFAULT_K_FRACTION = 0.1
+
+#: Upper bound on the k grid; beyond this PrivBasis itself becomes the
+#: bottleneck and a top-k interface is the better tool.
+DEFAULT_MAX_K = 512
+
+
+def select_k_for_threshold(
+    database: TransactionDatabase,
+    theta: float,
+    epsilon: float,
+    max_k: int = DEFAULT_MAX_K,
+    rng: RngLike = None,
+) -> int:
+    """Privately select k with f_k closest to θ (exponential mechanism).
+
+    Quality of candidate k is ``−|f_k − θ|·N`` with sensitivity 1 (the
+    k-th most frequent itemset's count moves by at most 1 per added or
+    removed transaction, and θ·N is data-independent).
+    """
+    if not 0 < theta <= 1:
+        raise ValidationError(f"theta must be in (0, 1], got {theta}")
+    if not epsilon > 0:
+        raise ValidationError(f"epsilon must be positive, got {epsilon}")
+    if max_k < 1:
+        raise ValidationError(f"max_k must be >= 1, got {max_k}")
+    generator = ensure_rng(rng)
+    n = database.num_transactions
+    if n == 0:
+        raise ValidationError("database is empty")
+
+    # Frequencies of the top max_k itemsets, padded with 0 when the
+    # database has fewer than max_k itemsets above zero support.
+    top = top_k_itemsets(database, max_k)
+    frequencies = [count / n for _, count in top]
+    frequencies += [0.0] * (max_k - len(frequencies))
+
+    qualities = np.array(
+        [-abs(frequency - theta) * n for frequency in frequencies]
+    )
+    index = exponential_mechanism(
+        qualities, epsilon, sensitivity=1.0, rng=generator
+    )
+    return index + 1
+
+
+def privbasis_threshold(
+    database: TransactionDatabase,
+    theta: float,
+    epsilon: float,
+    k_fraction: float = DEFAULT_K_FRACTION,
+    max_k: int = DEFAULT_MAX_K,
+    alphas: Tuple[float, float, float] = DEFAULT_ALPHAS,
+    drop_below_threshold: bool = True,
+    rng: RngLike = None,
+    **privbasis_kwargs,
+) -> PrivBasisResult:
+    """Release (approximately) all θ-frequent itemsets under ε-DP.
+
+    Parameters
+    ----------
+    theta:
+        Frequency threshold in (0, 1].
+    epsilon:
+        Total privacy budget; ``k_fraction·ε`` selects k, the rest
+        runs PrivBasis.
+    drop_below_threshold:
+        When True (default), filter the release to itemsets whose
+        noisy frequency is ≥ θ (post-processing).  When False, return
+        the full top-k release and let the caller decide.
+    privbasis_kwargs:
+        Forwarded to :func:`~repro.core.privbasis.privbasis`
+        (``eta``, ``max_basis_length``, …).
+
+    Returns
+    -------
+    PrivBasisResult
+        As from :func:`privbasis`; ``result.k`` is the privately
+        selected k and ``result.epsilon`` the *total* budget spent.
+    """
+    if not 0 < k_fraction < 1:
+        raise ValidationError(
+            f"k_fraction must be in (0, 1), got {k_fraction}"
+        )
+    generator = ensure_rng(rng)
+    k_epsilon = k_fraction * epsilon
+    mining_epsilon = epsilon - k_epsilon
+
+    k = select_k_for_threshold(
+        database, theta, k_epsilon, max_k=max_k, rng=generator
+    )
+    release = privbasis(
+        database,
+        k=k,
+        epsilon=mining_epsilon,
+        alphas=alphas,
+        rng=generator,
+        **privbasis_kwargs,
+    )
+    itemsets = release.itemsets
+    if drop_below_threshold:
+        itemsets = [
+            entry for entry in itemsets if entry.noisy_frequency >= theta
+        ]
+    return PrivBasisResult(
+        itemsets=itemsets,
+        k=k,
+        epsilon=epsilon,
+        method="privbasis-threshold",
+        lam=release.lam,
+        frequent_items=release.frequent_items,
+        frequent_pairs=release.frequent_pairs,
+        basis_set=release.basis_set,
+        budget=release.budget,
+    )

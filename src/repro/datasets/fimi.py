@@ -1,0 +1,100 @@
+"""Reader/writer for the FIMI transaction format.
+
+The FIMI repository (fimi.ua.ac.be — the paper's dataset source [2])
+distributes transaction databases as plain text: one transaction per
+line, items as whitespace-separated non-negative integers.  This module
+parses and emits that format so locally generated datasets round-trip
+and real FIMI files can be dropped in when available.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, TextIO, Union
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import DatasetFormatError
+
+PathLike = Union[str, Path]
+
+
+def read_fimi(
+    source: Union[PathLike, TextIO],
+    num_items: Optional[int] = None,
+) -> TransactionDatabase:
+    """Parse a FIMI ``.dat`` file into a :class:`TransactionDatabase`.
+
+    Parameters
+    ----------
+    source:
+        Path to the file, or an open text stream.
+    num_items:
+        Optional vocabulary size override (must exceed every item id).
+
+    Raises
+    ------
+    DatasetFormatError
+        On non-integer or negative tokens, with the line number.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _parse_stream(handle, num_items)
+    return _parse_stream(source, num_items)
+
+
+def _parse_stream(
+    handle: TextIO, num_items: Optional[int]
+) -> TransactionDatabase:
+    transactions: List[List[int]] = []
+    for line_number, line in enumerate(handle, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        row: List[int] = []
+        for token in stripped.split():
+            try:
+                item = int(token)
+            except ValueError as exc:
+                raise DatasetFormatError(
+                    f"line {line_number}: non-integer item {token!r}"
+                ) from exc
+            if item < 0:
+                raise DatasetFormatError(
+                    f"line {line_number}: negative item id {item}"
+                )
+            row.append(item)
+        transactions.append(row)
+    return TransactionDatabase(transactions, num_items=num_items)
+
+
+def write_fimi(
+    database: TransactionDatabase,
+    destination: Union[PathLike, TextIO],
+) -> None:
+    """Write ``database`` in FIMI format (one transaction per line)."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write_stream(database, handle)
+        return
+    _write_stream(database, destination)
+
+
+def _write_stream(database: TransactionDatabase, handle: TextIO) -> None:
+    for transaction in database:
+        handle.write(" ".join(str(item) for item in transaction))
+        handle.write("\n")
+
+
+def fimi_dumps(database: TransactionDatabase) -> str:
+    """Return the FIMI text representation as a string."""
+    buffer = io.StringIO()
+    _write_stream(database, buffer)
+    return buffer.getvalue()
+
+
+def fimi_loads(
+    text: str, num_items: Optional[int] = None
+) -> TransactionDatabase:
+    """Parse FIMI text from a string."""
+    return _parse_stream(io.StringIO(text), num_items)

@@ -1,0 +1,97 @@
+"""Dataset statistics, including the paper's Table 2(a) columns.
+
+``λ`` is the number of distinct items in the exact top-k itemsets, and
+``λ₂``/``λ₃`` count the pairs / size-3 itemsets among them — the
+quantities PrivBasis estimates privately and Table 2(a) reports
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.fim.topk import (
+    pairs_in_topk,
+    size_n_in_topk,
+    top_k_itemsets,
+    unique_items_in_topk,
+)
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One row of Table 2(a)."""
+
+    name: str
+    num_transactions: int
+    num_items: int
+    avg_transaction_length: float
+    k: int
+    lam: int          # λ  — distinct items in the top-k itemsets
+    lam2: int         # λ₂ — pairs in the top-k itemsets
+    lam3: int         # λ₃ — size-3 itemsets in the top-k itemsets
+    fk: float         # frequency of the k-th itemset
+    fk_count: int     # f_k · N (the paper reports this product)
+
+    def as_row(self) -> Tuple:
+        return (
+            self.name,
+            self.num_transactions,
+            self.num_items,
+            round(self.avg_transaction_length, 1),
+            self.k,
+            self.lam,
+            self.lam2,
+            self.lam3,
+            self.fk_count,
+        )
+
+
+def dataset_stats(
+    database: TransactionDatabase, k: int, name: str = ""
+) -> DatasetStats:
+    """Compute the Table 2(a) row for ``database`` at top-``k``."""
+    top = top_k_itemsets(database, k)
+    lam = len(unique_items_in_topk(top))
+    lam2 = len(pairs_in_topk(top))
+    lam3 = len(size_n_in_topk(top, 3))
+    if len(top) >= k:
+        fk_count = top[k - 1][1]
+    elif top:
+        fk_count = top[-1][1]
+    else:
+        fk_count = 0
+    n = database.num_transactions
+    return DatasetStats(
+        name=name,
+        num_transactions=n,
+        num_items=database.num_items,
+        avg_transaction_length=database.avg_transaction_length,
+        k=k,
+        lam=lam,
+        lam2=lam2,
+        lam3=lam3,
+        fk=fk_count / n if n else 0.0,
+        fk_count=fk_count,
+    )
+
+
+def topk_size_profile(
+    database: TransactionDatabase, k: int, max_size: int = 6
+) -> List[int]:
+    """Histogram of itemset sizes among the exact top-k.
+
+    ``profile[s-1]`` = number of size-``s`` itemsets in the top-k, for
+    s = 1 … ``max_size``.  Used to verify generated datasets land in
+    the paper's regimes (e.g. AOL-like must have profile ≈ [171, 29,
+    0, …]).
+    """
+    top = top_k_itemsets(database, k)
+    profile = [0] * max_size
+    for itemset, _ in top:
+        size = len(itemset)
+        if 1 <= size <= max_size:
+            profile[size - 1] += 1
+    return profile

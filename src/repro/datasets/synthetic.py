@@ -1,0 +1,159 @@
+"""IBM Quest-style synthetic transaction generator.
+
+The classical generator of Agrawal & Srikant (VLDB 1994, the paper's
+reference [5]) used to produce the ``T..I..D..`` benchmark families:
+a pool of *potential patterns* (correlated itemsets with exponential
+weights) is sampled into transactions of Poisson-distributed length,
+with per-pattern corruption.  It is the standard way to synthesize
+market-basket data with planted frequent-itemset structure and is used
+here both directly (tests, examples) and as the template for the
+paper-matched generators in :mod:`repro.datasets.generators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.dp.rng import RngLike, ensure_rng
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class QuestConfig:
+    """Parameters of the Quest generator (names follow the 1994 paper).
+
+    Attributes
+    ----------
+    num_transactions:
+        ``|D|`` — number of transactions to generate.
+    num_items:
+        ``N`` — size of the item vocabulary.
+    avg_transaction_length:
+        ``|T|`` — mean transaction size (Poisson).
+    avg_pattern_length:
+        ``|I|`` — mean size of potential patterns (Poisson, min 1).
+    num_patterns:
+        ``|L|`` — number of potential patterns in the pool.
+    correlation:
+        Fraction of each pattern's items drawn from its predecessor
+        (0.5 in the original paper).
+    corruption_mean:
+        Mean of the per-pattern corruption level (items dropped when a
+        pattern is placed into a transaction); 0.5 in the original.
+    """
+
+    num_transactions: int
+    num_items: int
+    avg_transaction_length: float = 10.0
+    avg_pattern_length: float = 4.0
+    num_patterns: int = 100
+    correlation: float = 0.5
+    corruption_mean: float = 0.5
+
+    def validate(self) -> None:
+        if self.num_transactions < 0:
+            raise ValidationError("num_transactions must be >= 0")
+        if self.num_items < 1:
+            raise ValidationError("num_items must be >= 1")
+        if self.avg_transaction_length <= 0:
+            raise ValidationError("avg_transaction_length must be > 0")
+        if self.avg_pattern_length <= 0:
+            raise ValidationError("avg_pattern_length must be > 0")
+        if self.num_patterns < 1:
+            raise ValidationError("num_patterns must be >= 1")
+        if not 0 <= self.correlation <= 1:
+            raise ValidationError("correlation must be in [0, 1]")
+        if not 0 <= self.corruption_mean < 1:
+            raise ValidationError("corruption_mean must be in [0, 1)")
+
+
+def generate_quest(
+    config: QuestConfig, rng: RngLike = None
+) -> TransactionDatabase:
+    """Generate a :class:`TransactionDatabase` per ``config``."""
+    config.validate()
+    generator = ensure_rng(rng)
+
+    patterns = _potential_patterns(config, generator)
+    weights = generator.exponential(size=len(patterns))
+    weights /= weights.sum()
+    corruption = np.clip(
+        generator.normal(config.corruption_mean, 0.1, size=len(patterns)),
+        0.0,
+        0.95,
+    )
+
+    transactions: List[List[int]] = []
+    for _ in range(config.num_transactions):
+        target_length = max(
+            1, int(generator.poisson(config.avg_transaction_length))
+        )
+        transaction: set = set()
+        # Guard against pathological configs where patterns cannot fill
+        # the transaction (e.g. all-empty after corruption).
+        attempts = 0
+        while len(transaction) < target_length and attempts < 10 * (
+            target_length + 1
+        ):
+            attempts += 1
+            pattern_index = int(
+                generator.choice(len(patterns), p=weights)
+            )
+            pattern = patterns[pattern_index]
+            keep = generator.random(len(pattern)) >= corruption[
+                pattern_index
+            ]
+            chosen = [
+                item for item, kept in zip(pattern, keep) if kept
+            ]
+            if not chosen:
+                continue
+            overshoot = (
+                len(transaction) + len(chosen) > 1.5 * target_length
+            )
+            if overshoot and generator.random() < 0.5:
+                # The original generator keeps an overflowing pattern
+                # in half the cases and otherwise defers it.
+                continue
+            transaction.update(chosen)
+        if not transaction:
+            transaction.add(int(generator.integers(config.num_items)))
+        transactions.append(sorted(transaction))
+    return TransactionDatabase(
+        transactions, num_items=config.num_items
+    )
+
+
+def _potential_patterns(
+    config: QuestConfig, generator: np.random.Generator
+) -> List[List[int]]:
+    """The pool of correlated potential patterns."""
+    patterns: List[List[int]] = []
+    previous: List[int] = []
+    for _ in range(config.num_patterns):
+        size = max(1, int(generator.poisson(config.avg_pattern_length)))
+        size = min(size, config.num_items)
+        reused: List[int] = []
+        if previous:
+            reuse_count = min(
+                len(previous),
+                int(round(config.correlation * size)),
+            )
+            if reuse_count:
+                reused = list(
+                    generator.choice(
+                        previous, size=reuse_count, replace=False
+                    )
+                )
+        fresh_needed = size - len(reused)
+        fresh = generator.choice(
+            config.num_items, size=fresh_needed, replace=False
+        ) if fresh_needed else np.array([], dtype=int)
+        pattern = sorted({*map(int, reused), *map(int, fresh)})
+        patterns.append(pattern)
+        previous = pattern
+    return patterns

@@ -1,0 +1,55 @@
+"""Differential-privacy substrate: budget accounting and mechanisms.
+
+The two mechanisms the paper relies on (Section 2.1):
+
+* :func:`repro.dp.laplace.laplace_mechanism` — additive Laplace noise
+  calibrated to L1 sensitivity.
+* :func:`repro.dp.exponential.exponential_mechanism` (and its
+  without-replacement variant) — select discrete outcomes with
+  probability exponential in their quality.
+
+:class:`repro.dp.budget.PrivacyBudget` enforces sequential composition.
+"""
+
+from repro.dp.budget import BudgetEntry, PrivacyBudget
+from repro.dp.geometric import (
+    geometric_alpha,
+    geometric_mechanism,
+    geometric_noise,
+    geometric_variance,
+)
+from repro.dp.exponential import (
+    em_probabilities,
+    em_scores,
+    exponential_mechanism,
+    exponential_mechanism_top_k,
+)
+from repro.dp.laplace import (
+    laplace_cdf,
+    laplace_mechanism,
+    laplace_noise,
+    laplace_ppf,
+    laplace_variance,
+)
+from repro.dp.rng import RngLike, ensure_rng, spawn_rngs
+
+__all__ = [
+    "BudgetEntry",
+    "PrivacyBudget",
+    "RngLike",
+    "em_probabilities",
+    "em_scores",
+    "ensure_rng",
+    "exponential_mechanism",
+    "exponential_mechanism_top_k",
+    "geometric_alpha",
+    "geometric_mechanism",
+    "geometric_noise",
+    "geometric_variance",
+    "laplace_cdf",
+    "laplace_mechanism",
+    "laplace_noise",
+    "laplace_ppf",
+    "laplace_variance",
+    "spawn_rngs",
+]

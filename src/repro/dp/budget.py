@@ -1,0 +1,146 @@
+"""Privacy-budget accounting under sequential composition.
+
+Differential privacy composes additively: running mechanisms that are
+ε₁-, ε₂-, …-DP on the same data yields a (Σεᵢ)-DP pipeline (paper
+Section 2.1).  :class:`PrivacyBudget` makes that bookkeeping explicit —
+each mechanism invocation *spends* part of the budget, and overdrafts
+raise :class:`~repro.errors.BudgetExceededError` instead of silently
+weakening the guarantee.
+
+The PrivBasis pipeline (paper Algorithm 3) splits its budget as
+α₁ε / α₂ε / α₃ε across its steps; :meth:`PrivacyBudget.split` expresses
+exactly that pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import BudgetExceededError, ValidationError
+
+#: Relative tolerance used when checking for overdrafts, so that exact
+#: splits like ``0.1 + 0.4 + 0.5`` do not fail on float rounding.
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class BudgetEntry:
+    """A single recorded expenditure: ``(label, epsilon)``."""
+
+    label: str
+    epsilon: float
+
+
+@dataclass
+class PrivacyBudget:
+    """Tracks ε expenditure for one differentially private task.
+
+    Parameters
+    ----------
+    epsilon:
+        Total privacy budget for the task.  Must be positive and finite;
+        use :meth:`PrivacyBudget.unlimited` for non-private debugging
+        runs (ε = +inf, spends always succeed).
+    """
+
+    epsilon: float
+    _entries: List[BudgetEntry] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (self.epsilon > 0):
+            raise ValidationError(
+                f"epsilon must be positive, got {self.epsilon!r}"
+            )
+
+    @classmethod
+    def unlimited(cls) -> "PrivacyBudget":
+        """A budget that never runs out (for testing / ε → ∞ baselines)."""
+        return cls(math.inf)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def spent(self) -> float:
+        """Total ε consumed so far (sequential composition)."""
+        return math.fsum(entry.epsilon for entry in self._entries)
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available; never negative."""
+        return max(0.0, self.epsilon - self.spent)
+
+    @property
+    def entries(self) -> Tuple[BudgetEntry, ...]:
+        """Immutable view of the expenditure ledger, in spend order."""
+        return tuple(self._entries)
+
+    def spend(self, epsilon: float, label: str = "") -> float:
+        """Consume ``epsilon`` from the budget and return it.
+
+        Raises
+        ------
+        ValidationError
+            If ``epsilon`` is not positive.
+        BudgetExceededError
+            If the spend would overdraw the budget (beyond a small
+            relative tolerance for float rounding).
+        """
+        if not (epsilon > 0):
+            raise ValidationError(
+                f"spend amount must be positive, got {epsilon!r}"
+            )
+        if math.isinf(self.epsilon):
+            self._entries.append(BudgetEntry(label, float(epsilon)))
+            return float(epsilon)
+        tolerance = _REL_TOL * self.epsilon
+        if epsilon > self.remaining + tolerance:
+            raise BudgetExceededError(epsilon, self.remaining)
+        self._entries.append(BudgetEntry(label, float(epsilon)))
+        return float(epsilon)
+
+    def spend_all(self, label: str = "") -> float:
+        """Consume whatever remains and return the amount."""
+        amount = self.remaining
+        if amount <= 0:
+            raise BudgetExceededError(0.0, 0.0)
+        return self.spend(amount, label)
+
+    # ------------------------------------------------------------------
+    # Structured allocation
+    # ------------------------------------------------------------------
+    def split(self, fractions: Tuple[float, ...] | List[float]) -> List[float]:
+        """Return ε amounts proportional to ``fractions`` of the *total*.
+
+        Validates that the fractions are positive and sum to at most 1
+        (within tolerance).  Does not spend anything by itself — callers
+        pass the returned amounts to :meth:`spend` as each stage runs,
+        which keeps the ledger aligned with actual data accesses.
+        """
+        fractions = list(fractions)
+        if not fractions:
+            raise ValidationError("fractions must be non-empty")
+        if any(not (fraction > 0) for fraction in fractions):
+            raise ValidationError(
+                f"all fractions must be positive, got {fractions!r}"
+            )
+        total = math.fsum(fractions)
+        if total > 1 + _REL_TOL:
+            raise ValidationError(
+                f"fractions sum to {total:g} > 1; they must partition "
+                f"the budget"
+            )
+        return [fraction * self.epsilon for fraction in fractions]
+
+    def assert_within_budget(self) -> None:
+        """Raise :class:`BudgetExceededError` if the ledger overdrew.
+
+        The ``spend`` path already prevents overdrafts; this is a final
+        invariant check experiments call after a pipeline finishes.
+        """
+        if math.isinf(self.epsilon):
+            return
+        if self.spent > self.epsilon * (1 + _REL_TOL):
+            raise BudgetExceededError(self.spent - self.epsilon, 0.0)

@@ -1,0 +1,113 @@
+"""The Laplace mechanism (paper Section 2.1).
+
+For a function ``g`` with L1 global sensitivity ``GS_g``, releasing
+``g(D) + Lap(GS_g / ε)`` satisfies ε-differential privacy.  PrivBasis
+uses this once, in BasisFreq (paper Algorithm 1): publishing all bin
+counts of a width-``w`` basis set has sensitivity ``w`` (one transaction
+lands in exactly one bin per basis), so each bin count gets
+``Lap(w / ε)`` noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dp.rng import RngLike, ensure_rng
+from repro.errors import ValidationError
+
+
+def laplace_noise(
+    scale: float,
+    size: int | tuple[int, ...] | None = None,
+    rng: RngLike = None,
+) -> np.ndarray | float:
+    """Draw Laplace(0, ``scale``) noise.
+
+    ``scale`` is the *b* parameter of the Laplace distribution
+    (density ``exp(-|x|/b) / 2b``), i.e. ``sensitivity / epsilon``.
+    """
+    if not (scale > 0):
+        raise ValidationError(f"scale must be positive, got {scale!r}")
+    generator = ensure_rng(rng)
+    return generator.laplace(loc=0.0, scale=scale, size=size)
+
+
+def laplace_mechanism(
+    values: np.ndarray | float,
+    sensitivity: float,
+    epsilon: float,
+    rng: RngLike = None,
+) -> np.ndarray | float:
+    """Release ``values`` under ε-DP via additive Laplace noise.
+
+    Parameters
+    ----------
+    values:
+        The exact query answer(s); a scalar or an array (noise is added
+        element-wise, the *whole vector* being one query of the given
+        joint sensitivity).
+    sensitivity:
+        L1 global sensitivity of the full vector-valued query.
+    epsilon:
+        Privacy budget consumed by this release.
+    """
+    if not (sensitivity > 0):
+        raise ValidationError(
+            f"sensitivity must be positive, got {sensitivity!r}"
+        )
+    if not (epsilon > 0):
+        raise ValidationError(f"epsilon must be positive, got {epsilon!r}")
+    scale = sensitivity / epsilon
+    array = np.asarray(values, dtype=float)
+    noise = laplace_noise(scale, size=array.shape, rng=rng)
+    noisy = array + noise
+    if np.isscalar(values) or array.shape == ():
+        return float(noisy)
+    return noisy
+
+
+def laplace_variance(scale: float) -> float:
+    """Variance of Laplace(0, ``scale``): ``2 * scale**2``.
+
+    Used throughout the error-variance analysis (paper Equation 4).
+    """
+    if not (scale > 0):
+        raise ValidationError(f"scale must be positive, got {scale!r}")
+    return 2.0 * scale * scale
+
+
+def laplace_cdf(x: np.ndarray | float, scale: float) -> np.ndarray | float:
+    """CDF of Laplace(0, ``scale``) evaluated at ``x``.
+
+    Needed by the TF baseline's exact order-statistics sampler
+    (:mod:`repro.baselines.tf`).
+    """
+    if not (scale > 0):
+        raise ValidationError(f"scale must be positive, got {scale!r}")
+    x = np.asarray(x, dtype=float)
+    result = np.where(
+        x < 0,
+        0.5 * np.exp(x / scale),
+        1.0 - 0.5 * np.exp(-x / scale),
+    )
+    if result.shape == ():
+        return float(result)
+    return result
+
+
+def laplace_ppf(q: np.ndarray | float, scale: float) -> np.ndarray | float:
+    """Quantile function (inverse CDF) of Laplace(0, ``scale``)."""
+    if not (scale > 0):
+        raise ValidationError(f"scale must be positive, got {scale!r}")
+    q = np.asarray(q, dtype=float)
+    if np.any((q < 0) | (q > 1)):
+        raise ValidationError("quantiles must lie in [0, 1]")
+    with np.errstate(divide="ignore"):
+        result = np.where(
+            q < 0.5,
+            scale * np.log(2.0 * q),
+            -scale * np.log(2.0 * (1.0 - q)),
+        )
+    if result.shape == ():
+        return float(result)
+    return result

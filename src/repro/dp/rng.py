@@ -1,0 +1,48 @@
+"""Seedable random-number handling shared by all mechanisms.
+
+Every randomized component in the library accepts an optional ``rng``
+argument.  :func:`ensure_rng` normalizes the accepted spellings
+(``None``, an integer seed, or an existing :class:`numpy.random.Generator`)
+into a :class:`numpy.random.Generator`, so experiments are reproducible
+end to end from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.integer, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    * ``None`` -> a fresh, OS-seeded generator.
+    * ``int`` -> a generator seeded with that value (deterministic).
+    * ``Generator`` -> returned unchanged (shared state).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    if isinstance(rng, np.random.Generator):
+        return rng
+    raise TypeError(
+        f"rng must be None, an int seed, or numpy.random.Generator, "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Uses numpy's ``spawn`` so the children's streams are statistically
+    independent of each other and of the parent.  Useful for running
+    repeated trials whose randomness must not overlap.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    return list(parent.spawn(count))

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class.  More
+specific subclasses exist for the two failure domains that matter in
+practice: malformed inputs (:class:`ValidationError` and friends) and
+privacy-budget accounting (:class:`BudgetError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or input dataset failed validation.
+
+    Also derives from :class:`ValueError` so that generic callers that
+    expect standard-library semantics keep working.
+    """
+
+
+class DatasetFormatError(ValidationError):
+    """A dataset file (e.g. FIMI ``.dat``) could not be parsed."""
+
+
+class BudgetError(ReproError):
+    """Base class for privacy-budget accounting failures."""
+
+
+class BudgetExceededError(BudgetError):
+    """A mechanism tried to consume more budget than remains.
+
+    Raised by :class:`repro.dp.budget.PrivacyBudget` when a ``spend``
+    request would push the total consumption above the budget's ε.
+    """
+
+    def __init__(self, requested: float, remaining: float) -> None:
+        self.requested = float(requested)
+        self.remaining = float(remaining)
+        super().__init__(
+            f"requested epsilon {requested:g} exceeds remaining budget "
+            f"{remaining:g}"
+        )
+
+
+class EmptySelectionError(ValidationError):
+    """A selection mechanism was asked to choose from an empty domain."""

@@ -1,0 +1,69 @@
+"""Experiment harness: regenerate every paper table and figure."""
+
+from repro.experiments.config import (
+    FIGURES,
+    TABLE2A_KS,
+    TABLE2B_RUNS,
+    FigureConfig,
+    RunSpec,
+    active_profile,
+    epsilons_for,
+    figure_config,
+)
+from repro.experiments.export import (
+    figure_to_csv,
+    figure_to_json,
+    release_to_csv,
+    series_to_csv,
+    series_to_json,
+)
+from repro.experiments.figures import FigureResult, run_all_figures, run_figure
+from repro.experiments.plotting import ascii_plot, plot_figure_panel
+from repro.experiments.reporting import render_figure_panel, render_table
+from repro.experiments.runner import (
+    MethodSpec,
+    SeriesResult,
+    pb_spec,
+    run_trials,
+    sweep,
+    tf_spec,
+)
+from repro.experiments.tables import (
+    render_table2a,
+    render_table2b,
+    table2a,
+    table2b,
+)
+
+__all__ = [
+    "FIGURES",
+    "FigureConfig",
+    "FigureResult",
+    "MethodSpec",
+    "RunSpec",
+    "SeriesResult",
+    "TABLE2A_KS",
+    "TABLE2B_RUNS",
+    "active_profile",
+    "ascii_plot",
+    "epsilons_for",
+    "figure_config",
+    "figure_to_csv",
+    "figure_to_json",
+    "pb_spec",
+    "plot_figure_panel",
+    "release_to_csv",
+    "render_figure_panel",
+    "render_table",
+    "render_table2a",
+    "render_table2b",
+    "run_all_figures",
+    "run_figure",
+    "run_trials",
+    "series_to_csv",
+    "series_to_json",
+    "sweep",
+    "table2a",
+    "table2b",
+    "tf_spec",
+]

@@ -1,0 +1,219 @@
+"""Command-line entry point for regenerating paper artefacts.
+
+Usage::
+
+    python -m repro.experiments.cli table2a
+    python -m repro.experiments.cli table2b
+    python -m repro.experiments.cli fig1 [--profile paper] [--trials 3]
+    python -m repro.experiments.cli fig1 --plot      # ASCII charts
+    python -m repro.experiments.cli datasets         # dataset summary
+    python -m repro.experiments.cli all
+
+Dataset scale is controlled by ``REPRO_FULL_SCALE=1`` (paper-exact N)
+and the ε grid by ``--profile`` / ``REPRO_BENCH_PROFILE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import FIGURES, TABLE2A_KS
+from repro.experiments.figures import run_figure
+from repro.experiments.tables import render_table2a, render_table2b
+
+_ARTEFACTS = ["table2a", "table2b", *sorted(FIGURES)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.cli",
+        description="Regenerate PrivBasis paper tables and figures.",
+    )
+    parser.add_argument(
+        "artefact",
+        choices=[*_ARTEFACTS, "datasets", "compare", "all"],
+        help="which table/figure to regenerate "
+             "('datasets' lists the registry; 'compare' runs a "
+             "one-shot PB vs TF comparison)",
+    )
+    parser.add_argument(
+        "--dataset", default="mushroom",
+        help="dataset for 'compare' (default: mushroom)",
+    )
+    parser.add_argument(
+        "--k", type=int, default=100, help="k for 'compare'"
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=1.0,
+        help="privacy budget for 'compare'",
+    )
+    parser.add_argument(
+        "--tf-m", type=int, default=2,
+        help="TF length cap for 'compare'",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=["quick", "paper"],
+        default=None,
+        help="epsilon-grid profile (default: REPRO_BENCH_PROFILE or quick)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="repeated trials per point (default: 3, as in the paper)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20120827, help="root random seed"
+    )
+    parser.add_argument(
+        "--tf-variant", choices=["laplace", "em"], default="laplace",
+        help="TF selection variant",
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="render figures as ASCII charts in addition to tables",
+    )
+    parser.add_argument(
+        "--export-dir", default=None, metavar="DIR",
+        help="also write each figure's series as CSV and JSON "
+             "into DIR (created if missing)",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.artefact == "datasets":
+        _print_datasets()
+        return 0
+    if arguments.artefact == "compare":
+        _run_compare(arguments)
+        return 0
+
+    targets = (
+        _ARTEFACTS if arguments.artefact == "all" else [arguments.artefact]
+    )
+    for target in targets:
+        started = time.time()
+        if target == "table2a":
+            print(render_table2a())
+        elif target == "table2b":
+            print(render_table2b())
+        else:
+            result = run_figure(
+                target,
+                profile=arguments.profile,
+                trials=arguments.trials,
+                seed=arguments.seed,
+                tf_variant=arguments.tf_variant,
+            )
+            print(result.render())
+            if arguments.plot:
+                print()
+                print(_plots_for(result))
+            if arguments.export_dir:
+                _export_figure(result, arguments.export_dir)
+        print(f"[{target} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+def _export_figure(result, directory: str) -> None:
+    import os
+
+    from repro.experiments.export import (
+        figure_to_csv,
+        figure_to_json,
+        write_text,
+    )
+
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, result.figure_id)
+    write_text(base + ".csv", figure_to_csv(result))
+    write_text(base + ".json", figure_to_json(result))
+    print(f"[exported {base}.csv and {base}.json]")
+
+
+def _plots_for(result) -> str:
+    from repro.experiments.plotting import plot_figure_panel
+
+    fnr = plot_figure_panel(
+        result.series,
+        "fnr",
+        f"{result.figure_id} ({result.dataset}) — FNR vs epsilon",
+        y_max=1.0,
+    )
+    re = plot_figure_panel(
+        result.series,
+        "relative_error",
+        f"{result.figure_id} ({result.dataset}) — relative error "
+        "vs epsilon",
+    )
+    return fnr + "\n\n" + re
+
+
+def _run_compare(arguments) -> None:
+    """One-shot PB vs TF vs exact comparison on a registry dataset."""
+    from repro.baselines.tf import tf_method
+    from repro.core.privbasis import privbasis
+    from repro.datasets.registry import cached_top_k, load_dataset
+    from repro.fim.itemsets import format_itemset
+    from repro.metrics.utility import evaluate_release
+
+    database = load_dataset(arguments.dataset)
+    k, epsilon = arguments.k, arguments.epsilon
+    print(
+        f"{arguments.dataset}: PB vs TF(m={arguments.tf_m}) at "
+        f"k = {k}, epsilon = {epsilon}, seed = {arguments.seed}"
+    )
+    truth = cached_top_k(database, k)
+
+    pb = privbasis(database, k=k, epsilon=epsilon, rng=arguments.seed)
+    tf = tf_method(
+        database, k=k, epsilon=epsilon, m=arguments.tf_m,
+        variant=arguments.tf_variant, rng=arguments.seed,
+    )
+    print(f"\n{'method':<12} {'FNR':>6} {'median RE':>10}")
+    for label, release in (("PrivBasis", pb), ("TF", tf)):
+        metrics = evaluate_release(release, database, truth)
+        print(
+            f"{label:<12} {metrics['fnr']:>6.3f} "
+            f"{metrics['relative_error']:>10.4f}"
+        )
+
+    n = database.num_transactions
+    print(f"\ntop 10 by PrivBasis (exact rank in parentheses):")
+    exact_rank = {
+        itemset: rank
+        for rank, (itemset, _) in enumerate(truth, start=1)
+    }
+    for entry in pb.itemsets[:10]:
+        rank = exact_rank.get(entry.itemset)
+        rank_text = f"#{rank}" if rank else "not in exact top-k"
+        print(
+            f"  {format_itemset(entry.itemset):<28} "
+            f"noisy f = {entry.noisy_frequency:.4f}  ({rank_text})"
+        )
+
+
+def _print_datasets() -> None:
+    from repro.datasets.registry import (
+        dataset_names,
+        full_scale_enabled,
+        load_dataset,
+    )
+
+    scale = "paper-exact" if full_scale_enabled() else "quick"
+    print(f"registry datasets (scale: {scale}; set REPRO_FULL_SCALE=1 "
+          "for paper-exact N)")
+    print()
+    print(f"{'name':<12} {'N':>8} {'|I|':>8} {'avg |t|':>8} {'table k':>8}")
+    for name in dataset_names():
+        database = load_dataset(name)
+        print(
+            f"{name:<12} {database.num_transactions:>8} "
+            f"{database.num_items:>8} "
+            f"{database.avg_transaction_length:>8.1f} "
+            f"{TABLE2A_KS[name]:>8}"
+        )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Experiment definitions: one config per paper table/figure.
+
+The grids mirror the paper's Section 5 exactly: which dataset, which k
+values, which ε range, and which TF length cap m (the paper reports the
+best-precision m per run in its figure captions; we use those values).
+
+Two profiles control cost:
+
+* ``paper`` — the full ε grids and 3 trials, at whatever dataset scale
+  the registry provides (set ``REPRO_FULL_SCALE=1`` for paper-exact N).
+* ``quick`` — a coarse ε grid, for CI and iteration.
+
+Select via the ``REPRO_BENCH_PROFILE`` environment variable or the
+``profile`` argument; default is ``quick``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (k, TF-m) pairing within a figure."""
+
+    k: int
+    tf_m: int
+
+
+@dataclass(frozen=True)
+class FigureConfig:
+    """Everything needed to regenerate one paper figure."""
+
+    figure_id: str
+    dataset: str
+    runs: Tuple[RunSpec, ...]
+    epsilons: Tuple[float, ...]
+    trials: int = 3
+    description: str = ""
+
+    def quick_epsilons(self) -> Tuple[float, ...]:
+        """Coarse ε grid: endpoints plus the midpoint of the range."""
+        lo, hi = self.epsilons[0], self.epsilons[-1]
+        mid = round((lo + hi) / 2, 2)
+        grid = sorted({lo, mid, hi})
+        return tuple(grid)
+
+
+def _grid(start: float, stop: float, step: float = 0.1) -> Tuple[float, ...]:
+    values = []
+    current = start
+    while current <= stop + 1e-9:
+        values.append(round(current, 2))
+        current += step
+    return tuple(values)
+
+
+#: Paper figure configurations (Section 5.1).  TF's m values are the
+#: per-curve best-precision values from the figure captions.
+FIGURES: Dict[str, FigureConfig] = {
+    "fig1": FigureConfig(
+        figure_id="fig1",
+        dataset="mushroom",
+        runs=(RunSpec(k=50, tf_m=4), RunSpec(k=100, tf_m=2)),
+        epsilons=_grid(0.1, 1.0),
+        description="Mushroom: FNR and RE vs ε (small λ, single basis)",
+    ),
+    "fig2": FigureConfig(
+        figure_id="fig2",
+        dataset="pumsb_star",
+        runs=(RunSpec(k=50, tf_m=4), RunSpec(k=150, tf_m=2)),
+        epsilons=_grid(0.1, 1.0),
+        description="Pumsb-star: FNR and RE vs ε (small λ, single basis)",
+    ),
+    "fig3": FigureConfig(
+        figure_id="fig3",
+        dataset="retail",
+        runs=(RunSpec(k=50, tf_m=1), RunSpec(k=100, tf_m=1)),
+        epsilons=_grid(0.2, 1.0),
+        description="Retail: FNR and RE vs ε (larger λ, several bases)",
+    ),
+    "fig4": FigureConfig(
+        figure_id="fig4",
+        dataset="kosarak",
+        runs=(
+            RunSpec(k=100, tf_m=4),
+            RunSpec(k=200, tf_m=2),
+            RunSpec(k=300, tf_m=2),
+            RunSpec(k=400, tf_m=2),
+        ),
+        epsilons=_grid(0.2, 1.0),
+        description="Kosarak: FNR and RE vs ε (larger λ, several bases)",
+    ),
+    "fig5": FigureConfig(
+        figure_id="fig5",
+        dataset="aol",
+        runs=(RunSpec(k=100, tf_m=1), RunSpec(k=200, tf_m=1)),
+        epsilons=_grid(0.5, 1.0),
+        description="AOL: FNR and RE vs ε (λ ≈ k, many small bases)",
+    ),
+}
+
+#: Table 2(a) (k per dataset) and Table 2(b) (k, m per dataset).
+TABLE2A_KS: Dict[str, int] = {
+    "retail": 100,
+    "mushroom": 100,
+    "pumsb_star": 200,
+    "kosarak": 200,
+    "aol": 200,
+}
+
+TABLE2B_RUNS: Dict[str, Tuple[int, int]] = {
+    "retail": (100, 1),
+    "mushroom": (100, 2),
+    "pumsb_star": (200, 3),
+    "kosarak": (200, 2),
+    "aol": (200, 1),
+}
+
+
+def active_profile(profile: str | None = None) -> str:
+    """Resolve the benchmark profile (argument > env > default)."""
+    resolved = profile or os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    resolved = resolved.strip().lower()
+    if resolved not in ("quick", "paper"):
+        raise ValidationError(
+            f"profile must be 'quick' or 'paper', got {resolved!r}"
+        )
+    return resolved
+
+
+def figure_config(figure_id: str) -> FigureConfig:
+    """Look up a figure configuration by id (e.g. ``"fig1"``)."""
+    try:
+        return FIGURES[figure_id]
+    except KeyError:
+        raise ValidationError(
+            f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
+        ) from None
+
+
+def epsilons_for(config: FigureConfig, profile: str | None = None):
+    """The ε grid for a figure under the active profile."""
+    if active_profile(profile) == "paper":
+        return config.epsilons
+    return config.quick_epsilons()

@@ -1,0 +1,136 @@
+"""Export experiment results to CSV / JSON for external tooling.
+
+The figure harness renders text tables and ASCII charts; downstream
+users who want real plots (matplotlib, gnuplot, a spreadsheet) need
+the raw series.  This module serializes
+
+* :class:`~repro.experiments.runner.SeriesResult` lists (figures) to
+  long-format CSV — one row per (series, ε) — or nested JSON;
+* releases (:class:`~repro.core.result.PrivateFIMResult`) to CSV with
+  one row per published itemset.
+
+Only the standard library is used (``csv``, ``json``); items are
+rendered as space-separated ids inside one field, matching the FIMI
+convention.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Sequence
+
+from repro.experiments.runner import SeriesResult
+
+#: Columns of the long-format figure CSV.
+FIGURE_FIELDS = (
+    "label",
+    "k",
+    "epsilon",
+    "fnr_mean",
+    "fnr_stderr",
+    "re_mean",
+    "re_stderr",
+)
+
+#: Columns of the release CSV.
+RELEASE_FIELDS = (
+    "rank",
+    "itemset",
+    "size",
+    "noisy_count",
+    "noisy_frequency",
+    "count_variance",
+)
+
+
+def series_to_csv(series: Sequence[SeriesResult]) -> str:
+    """Long-format CSV of figure series (one row per series × ε)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(FIGURE_FIELDS)
+    for result in series:
+        for index, epsilon in enumerate(result.epsilons):
+            writer.writerow(
+                [
+                    result.label,
+                    result.k,
+                    epsilon,
+                    _round(result.fnr_mean[index]),
+                    _round(result.fnr_stderr[index]),
+                    _round(result.re_mean[index]),
+                    _round(result.re_stderr[index]),
+                ]
+            )
+    return buffer.getvalue()
+
+
+def series_to_json(series: Sequence[SeriesResult], indent: int = 2) -> str:
+    """Nested JSON of figure series (one object per series)."""
+    payload: List[dict] = []
+    for result in series:
+        payload.append(
+            {
+                "label": result.label,
+                "k": result.k,
+                "epsilons": list(result.epsilons),
+                "fnr_mean": [_round(v) for v in result.fnr_mean],
+                "fnr_stderr": [_round(v) for v in result.fnr_stderr],
+                "re_mean": [_round(v) for v in result.re_mean],
+                "re_stderr": [_round(v) for v in result.re_stderr],
+            }
+        )
+    return json.dumps(payload, indent=indent)
+
+
+def figure_to_csv(figure_result) -> str:
+    """CSV of a :class:`~repro.experiments.figures.FigureResult`."""
+    return series_to_csv(figure_result.series)
+
+
+def figure_to_json(figure_result, indent: int = 2) -> str:
+    """JSON of a FigureResult with its metadata attached."""
+    body = json.loads(series_to_json(figure_result.series))
+    return json.dumps(
+        {
+            "figure_id": figure_result.figure_id,
+            "dataset": figure_result.dataset,
+            "description": figure_result.description,
+            "series": body,
+        },
+        indent=indent,
+    )
+
+
+def release_to_csv(release) -> str:
+    """CSV of a release: one row per published itemset, rank order."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(RELEASE_FIELDS)
+    for rank, entry in enumerate(release.itemsets, start=1):
+        writer.writerow(
+            [
+                rank,
+                " ".join(str(item) for item in entry.itemset),
+                len(entry.itemset),
+                _round(entry.noisy_count),
+                _round(entry.noisy_frequency, digits=8),
+                _round(entry.count_variance),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_text(path, content: str) -> None:
+    """Write ``content`` to ``path`` (tiny convenience wrapper)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+
+
+def _round(value: float, digits: int = 6) -> float:
+    """Round for stable, diff-friendly files (NaN survives as nan)."""
+    try:
+        return round(float(value), digits)
+    except (TypeError, ValueError):
+        return value

@@ -1,0 +1,119 @@
+"""Figure regeneration: one function per paper figure.
+
+Each figure function returns a :class:`FigureResult` holding the PB and
+TF series for every (k, m) run of that figure, plus a text rendering of
+its two panels (FNR and relative error), mirroring the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.config import (
+    FigureConfig,
+    epsilons_for,
+    figure_config,
+)
+from repro.experiments.reporting import render_figure_panel
+from repro.experiments.runner import (
+    SeriesResult,
+    pb_spec,
+    sweep,
+    tf_spec,
+)
+
+
+@dataclass
+class FigureResult:
+    """All series of one figure plus metadata."""
+
+    figure_id: str
+    dataset: str
+    description: str
+    series: List[SeriesResult]
+
+    def render(self) -> str:
+        """The figure as two text panels, paper layout (a) FNR (b) RE."""
+        panel_a = render_figure_panel(
+            self.series,
+            "fnr",
+            f"{self.figure_id} ({self.dataset}) — (a) False Negative Rate",
+        )
+        panel_b = render_figure_panel(
+            self.series,
+            "relative_error",
+            f"{self.figure_id} ({self.dataset}) — (b) Relative Error",
+        )
+        return panel_a + "\n\n" + panel_b
+
+
+def run_figure(
+    figure_id: str,
+    profile: Optional[str] = None,
+    trials: Optional[int] = None,
+    seed: int = 20120827,
+    tf_variant: str = "laplace",
+) -> FigureResult:
+    """Regenerate one paper figure (PB and TF curves for each k).
+
+    Parameters
+    ----------
+    figure_id:
+        ``"fig1"`` … ``"fig5"``.
+    profile:
+        ``"quick"`` (coarse ε grid) or ``"paper"`` (full grid); default
+        from ``REPRO_BENCH_PROFILE``.
+    trials:
+        Override the number of repeated trials (paper: 3).
+    tf_variant:
+        Which TF selection variant to run (``"laplace"`` or ``"em"``).
+    """
+    config = figure_config(figure_id)
+    database = load_dataset(config.dataset)
+    epsilons = epsilons_for(config, profile)
+    trial_count = trials if trials is not None else config.trials
+
+    series: List[SeriesResult] = []
+    for run in config.runs:
+        series.append(
+            sweep(
+                database,
+                pb_spec(run.k),
+                run.k,
+                epsilons,
+                trials=trial_count,
+                seed=seed,
+            )
+        )
+    for run in config.runs:
+        series.append(
+            sweep(
+                database,
+                tf_spec(run.k, run.tf_m, variant=tf_variant),
+                run.k,
+                epsilons,
+                trials=trial_count,
+                seed=seed + 7,
+            )
+        )
+    return FigureResult(
+        figure_id=config.figure_id,
+        dataset=config.dataset,
+        description=config.description,
+        series=series,
+    )
+
+
+def run_all_figures(
+    profile: Optional[str] = None,
+    trials: Optional[int] = None,
+    seed: int = 20120827,
+) -> Dict[str, FigureResult]:
+    """Regenerate every paper figure; returns a dict keyed by id."""
+    return {
+        figure_id: run_figure(figure_id, profile=profile, trials=trials,
+                              seed=seed)
+        for figure_id in ("fig1", "fig2", "fig3", "fig4", "fig5")
+    }

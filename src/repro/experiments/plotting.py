@@ -1,0 +1,193 @@
+"""ASCII line plots for figure series (no plotting dependencies).
+
+The paper's figures are ε-vs-metric line charts with 2–8 series each.
+:func:`ascii_plot` renders the same data as a terminal chart so that
+``python -m repro.experiments.cli figN --plot`` (and EXPERIMENTS.md)
+can show curve *shapes*, not just tables: who wins, how fast curves
+fall with ε, and where they flatten.
+
+Rendering model: a fixed character grid, x mapped linearly over the ε
+range, y linearly over [0, y_max]; each series draws its points with
+its own glyph, later series over earlier ones.  Collisions are
+resolved in favour of the later series (PB series are passed last by
+the figure renderer so the headline curves stay visible).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+#: Glyphs assigned to series in order.
+SERIES_GLYPHS = "ox*#@+%&"
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    y_max: Optional[float] = None,
+    title: str = "",
+    x_label: str = "epsilon",
+) -> str:
+    """Render series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        List of ``(label, xs, ys)``; all xs must be positive and each
+        ``len(xs) == len(ys)``.  NaN ys are skipped.
+    width, height:
+        Plot-area size in characters (axes and legend are extra).
+    y_max:
+        Fixed y-axis top; default is the max finite y across series
+        (at least a small positive value so flat-zero data renders).
+
+    Returns
+    -------
+    The chart as a multi-line string: title, y-axis labels, plot grid,
+    x-axis, and a legend mapping glyphs to labels.
+    """
+    if not series:
+        raise ValidationError("need at least one series to plot")
+    if width < 16 or height < 4:
+        raise ValidationError(
+            f"plot area too small: {width}x{height} (min 16x4)"
+        )
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValidationError(
+            f"at most {len(SERIES_GLYPHS)} series supported, "
+            f"got {len(series)}"
+        )
+    for label, xs, ys in series:
+        if len(xs) != len(ys):
+            raise ValidationError(
+                f"series {label!r}: {len(xs)} xs vs {len(ys)} ys"
+            )
+        if not xs:
+            raise ValidationError(f"series {label!r} is empty")
+
+    all_x = [x for _, xs, _ in series for x in xs]
+    x_min, x_max = min(all_x), max(all_x)
+    finite_y = [
+        y
+        for _, _, ys in series
+        for y in ys
+        if not math.isnan(y) and not math.isinf(y)
+    ]
+    top = y_max if y_max is not None else max(finite_y, default=0.0)
+    if top <= 0:
+        top = 1e-9
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def column(x: float) -> int:
+        if x_max == x_min:
+            return width // 2
+        fraction = (x - x_min) / (x_max - x_min)
+        return min(width - 1, max(0, round(fraction * (width - 1))))
+
+    def row(y: float) -> int:
+        fraction = min(1.0, max(0.0, y / top))
+        return min(
+            height - 1, max(0, (height - 1) - round(fraction * (height - 1)))
+        )
+
+    for index, (label, xs, ys) in enumerate(series):
+        glyph = SERIES_GLYPHS[index]
+        previous: Optional[Tuple[int, int]] = None
+        for x, y in zip(xs, ys):
+            if math.isnan(y) or math.isinf(y):
+                previous = None
+                continue
+            c, r = column(x), row(y)
+            if previous is not None:
+                _draw_segment(grid, previous, (c, r), glyph)
+            grid[r][c] = glyph
+            previous = (c, r)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        len(_fmt(top)), len(_fmt(top / 2)), len(_fmt(0.0))
+    )
+    for r in range(height):
+        if r == 0:
+            axis_label = _fmt(top).rjust(label_width)
+        elif r == height - 1:
+            axis_label = _fmt(0.0).rjust(label_width)
+        elif r == (height - 1) // 2:
+            axis_label = _fmt(top / 2).rjust(label_width)
+        else:
+            axis_label = " " * label_width
+        lines.append(f"{axis_label} |{''.join(grid[r])}|")
+    x_axis = "-" * width
+    lines.append(f"{' ' * label_width} +{x_axis}+")
+    left = _fmt(x_min)
+    right = _fmt(x_max)
+    middle = x_label.center(width - len(left) - len(right))
+    lines.append(f"{' ' * label_width}  {left}{middle}{right}")
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[index]} {label}"
+        for index, (label, _, _) in enumerate(series)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)
+
+
+def plot_figure_panel(
+    figure_series,
+    metric: str,
+    title: str,
+    width: int = 64,
+    height: int = 16,
+    y_max: Optional[float] = None,
+) -> str:
+    """Chart one panel (FNR or RE) of a figure's SeriesResult list.
+
+    TF series are drawn first and PB series last so PB glyphs win
+    collisions, matching the paper's visual emphasis.
+    """
+    if metric not in ("fnr", "relative_error"):
+        raise ValidationError(
+            f"metric must be 'fnr' or 'relative_error', got {metric!r}"
+        )
+    attribute = "fnr_mean" if metric == "fnr" else "re_mean"
+    ordered = sorted(
+        figure_series,
+        key=lambda item: item.label.startswith("PB"),
+    )
+    data = [
+        (result.label, result.epsilons, getattr(result, attribute))
+        for result in ordered
+    ]
+    return ascii_plot(
+        data, width=width, height=height, y_max=y_max, title=title
+    )
+
+
+def _draw_segment(grid, start, end, glyph) -> None:
+    """Light linear interpolation between consecutive points with '.'
+    (only on blank cells, so real data points stay visible)."""
+    (c0, r0), (c1, r1) = start, end
+    steps = max(abs(c1 - c0), abs(r1 - r0))
+    if steps <= 1:
+        return
+    for step in range(1, steps):
+        c = round(c0 + (c1 - c0) * step / steps)
+        r = round(r0 + (r1 - r0) * step / steps)
+        if grid[r][c] == " ":
+            grid[r][c] = "."
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2g}"
+    return f"{value:.2g}"

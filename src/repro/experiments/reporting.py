@@ -1,0 +1,93 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness runs headless, so figures are emitted as aligned
+text series (one row per ε) rather than plots — the same rows one would
+feed to gnuplot, which is what the paper's figures show.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.experiments.runner import SeriesResult
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Simple aligned text table."""
+    rendered_rows = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [
+        max(
+            len(str(headers[column])),
+            *(len(row[column]) for row in rendered_rows),
+        )
+        if rendered_rows
+        else len(str(headers[column]))
+        for column in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(
+            str(header).ljust(widths[column])
+            for column, header in enumerate(headers)
+        )
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(
+                row[column].ljust(widths[column])
+                for column in range(len(headers))
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_figure_panel(
+    series_list: Sequence[SeriesResult],
+    metric: str,
+    title: str,
+) -> str:
+    """One panel (FNR or RE) of a figure as a text table.
+
+    Columns: ε, then ``mean ± stderr`` per series.
+    """
+    if metric not in ("fnr", "relative_error"):
+        raise ValueError(f"unknown metric {metric!r}")
+    headers = ["epsilon"] + [series.label for series in series_list]
+    epsilons = series_list[0].epsilons if series_list else []
+    rows: List[List[str]] = []
+    for index, epsilon in enumerate(epsilons):
+        row: List[str] = [f"{epsilon:.2f}"]
+        for series in series_list:
+            if metric == "fnr":
+                mean = series.fnr_mean[index]
+                err = series.fnr_stderr[index]
+            else:
+                mean = series.re_mean[index]
+                err = series.re_stderr[index]
+            row.append(_format_measurement(mean, err))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def _format_measurement(mean: float, stderr: float) -> str:
+    if math.isnan(mean):
+        return "n/a"
+    return f"{mean:.3f}±{stderr:.3f}"
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if math.isnan(cell):
+            return "n/a"
+        if cell and (abs(cell) >= 1e6 or abs(cell) < 1e-3):
+            return f"{cell:.3g}"
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,61 @@
+"""Exact (non-private) frequent itemset mining substrate."""
+
+from repro.fim.apriori import apriori, frequent_itemsets_sorted
+from repro.fim.counting import (
+    ItemBitmaps,
+    bin_counts_for_items,
+    naive_superset_sum,
+    superset_sum_transform,
+)
+from repro.fim.eclat import eclat
+from repro.fim.fpgrowth import fpgrowth
+from repro.fim.fptree import FPNode, FPTree
+from repro.fim.itemsets import (
+    Itemset,
+    all_nonempty_subsets,
+    apriori_join,
+    canonical_itemset,
+    format_itemset,
+    itemset_to_mask,
+    mask_to_itemset,
+    subsets_of_size,
+)
+from repro.fim.maximal import is_basis_for, maximal_itemsets, mine_maximal
+from repro.fim.topk import (
+    exact_topk_itemset_set,
+    kth_frequency,
+    pairs_in_topk,
+    size_n_in_topk,
+    top_k_itemsets,
+    unique_items_in_topk,
+)
+
+__all__ = [
+    "FPNode",
+    "FPTree",
+    "ItemBitmaps",
+    "Itemset",
+    "all_nonempty_subsets",
+    "apriori",
+    "apriori_join",
+    "bin_counts_for_items",
+    "canonical_itemset",
+    "eclat",
+    "exact_topk_itemset_set",
+    "format_itemset",
+    "fpgrowth",
+    "frequent_itemsets_sorted",
+    "is_basis_for",
+    "itemset_to_mask",
+    "kth_frequency",
+    "mask_to_itemset",
+    "maximal_itemsets",
+    "mine_maximal",
+    "naive_superset_sum",
+    "pairs_in_topk",
+    "size_n_in_topk",
+    "subsets_of_size",
+    "superset_sum_transform",
+    "top_k_itemsets",
+    "unique_items_in_topk",
+]

@@ -1,0 +1,133 @@
+"""FP-tree: the compact prefix-tree of FP-Growth (Han et al., 2000).
+
+The tree stores every transaction as a path of items ordered by
+descending global support; shared prefixes collapse into shared nodes
+whose counters accumulate.  A header table links all nodes of each item
+so conditional pattern bases can be extracted without rescanning the
+database (paper Section 2.2 sketches this structure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class FPNode:
+    """One prefix-tree node: an item, its count, and tree links."""
+
+    __slots__ = ("item", "count", "parent", "children", "next_link")
+
+    def __init__(self, item: Optional[int], parent: Optional["FPNode"]) -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: Dict[int, "FPNode"] = {}
+        #: Next node carrying the same item (header-table chain).
+        self.next_link: Optional["FPNode"] = None
+
+    def __repr__(self) -> str:
+        return f"FPNode(item={self.item}, count={self.count})"
+
+
+class FPTree:
+    """An FP-tree over integer items.
+
+    Parameters
+    ----------
+    item_order:
+        Total order on items used for path layout: items earlier in the
+        sequence sit closer to the root.  FP-Growth passes items sorted
+        by descending support, which maximizes prefix sharing.
+    """
+
+    def __init__(self, item_order: Sequence[int]) -> None:
+        self.root = FPNode(None, None)
+        self._rank: Dict[int, int] = {
+            int(item): rank for rank, item in enumerate(item_order)
+        }
+        self._header_head: Dict[int, FPNode] = {}
+        self._header_tail: Dict[int, FPNode] = {}
+        self.item_totals: Dict[int, int] = {}
+
+    @property
+    def item_order(self) -> List[int]:
+        """Items in root-to-leaf layout order."""
+        return sorted(self._rank, key=self._rank.__getitem__)
+
+    def insert(self, transaction: Iterable[int], count: int = 1) -> None:
+        """Add ``transaction`` (with multiplicity ``count``) to the tree.
+
+        Items not present in ``item_order`` are silently dropped —
+        FP-Growth prunes infrequent items before tree construction.
+        """
+        items = sorted(
+            (int(item) for item in set(transaction) if int(item) in self._rank),
+            key=self._rank.__getitem__,
+        )
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                self._append_to_header(item, child)
+            child.count += count
+            self.item_totals[item] = self.item_totals.get(item, 0) + count
+            node = child
+
+    def _append_to_header(self, item: int, node: FPNode) -> None:
+        tail = self._header_tail.get(item)
+        if tail is None:
+            self._header_head[item] = node
+        else:
+            tail.next_link = node
+        self._header_tail[item] = node
+
+    def nodes_of(self, item: int) -> Iterable[FPNode]:
+        """Iterate all nodes carrying ``item`` via the header chain."""
+        node = self._header_head.get(int(item))
+        while node is not None:
+            yield node
+            node = node.next_link
+
+    def prefix_path(self, node: FPNode) -> List[int]:
+        """Items on the path from ``node``'s parent up to the root."""
+        path: List[int] = []
+        current = node.parent
+        while current is not None and current.item is not None:
+            path.append(current.item)
+            current = current.parent
+        path.reverse()
+        return path
+
+    def conditional_pattern_base(
+        self, item: int
+    ) -> List[Tuple[List[int], int]]:
+        """All (prefix path, count) pairs ending at ``item``'s nodes.
+
+        This is the projected database FP-Growth recurses on.
+        """
+        base: List[Tuple[List[int], int]] = []
+        for node in self.nodes_of(item):
+            path = self.prefix_path(node)
+            if path:
+                base.append((path, node.count))
+        return base
+
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+    def single_path(self) -> Optional[List[Tuple[int, int]]]:
+        """If the tree is a single chain, return its [(item, count)].
+
+        FP-Growth short-circuits single-path trees by enumerating
+        subsets of the path directly.
+        """
+        path: List[Tuple[int, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            node = next(iter(node.children.values()))
+            path.append((node.item, node.count))
+        return path

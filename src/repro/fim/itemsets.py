@@ -1,0 +1,130 @@
+"""Itemset utilities shared by the miners and the PrivBasis core.
+
+An *itemset* is canonically represented as a sorted tuple of int item
+ids (see :func:`repro.datasets.transactions.canonical_itemset`).  This
+module adds the combinatorial helpers the paper's algorithms need:
+subset enumeration, bitmask encoding of subsets of a basis, and the
+Apriori join step.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.datasets.transactions import Itemset, canonical_itemset
+from repro.errors import ValidationError
+
+__all__ = [
+    "Itemset",
+    "canonical_itemset",
+    "all_nonempty_subsets",
+    "subsets_of_size",
+    "itemset_to_mask",
+    "mask_to_itemset",
+    "apriori_join",
+    "has_all_subsets",
+    "format_itemset",
+]
+
+
+def all_nonempty_subsets(items: Sequence[int]) -> Iterator[Itemset]:
+    """Yield every non-empty subset of ``items`` as a canonical tuple.
+
+    Order: by size, then lexicographically — deterministic for tests.
+    """
+    ordered = canonical_itemset(items)
+    for size in range(1, len(ordered) + 1):
+        for subset in combinations(ordered, size):
+            yield subset
+
+
+def subsets_of_size(items: Sequence[int], size: int) -> Iterator[Itemset]:
+    """Yield all ``size``-subsets of ``items`` in lexicographic order."""
+    if size < 0:
+        raise ValidationError(f"size must be non-negative, got {size}")
+    yield from combinations(canonical_itemset(items), size)
+
+
+def itemset_to_mask(itemset: Iterable[int], basis: Sequence[int]) -> int:
+    """Encode ``itemset ⊆ basis`` as a bitmask over basis positions.
+
+    Bit ``j`` of the result is set iff ``basis[j]`` belongs to
+    ``itemset`` — the integer-index encoding paper Algorithm 1's bin
+    array uses.
+    """
+    positions: Dict[int, int] = {
+        item: position for position, item in enumerate(basis)
+    }
+    mask = 0
+    for item in itemset:
+        try:
+            mask |= 1 << positions[int(item)]
+        except KeyError as exc:
+            raise ValidationError(
+                f"item {item} is not in basis {tuple(basis)}"
+            ) from exc
+    return mask
+
+
+def mask_to_itemset(mask: int, basis: Sequence[int]) -> Itemset:
+    """Decode a bitmask over basis positions back into an itemset."""
+    if mask < 0 or mask >= (1 << len(basis)):
+        raise ValidationError(
+            f"mask {mask} out of range for basis of length {len(basis)}"
+        )
+    return tuple(
+        sorted(
+            basis[position]
+            for position in range(len(basis))
+            if mask & (1 << position)
+        )
+    )
+
+
+def apriori_join(frequent: Sequence[Itemset]) -> List[Itemset]:
+    """Apriori candidate generation: join ``L_{n-1}`` with itself.
+
+    Two (n−1)-itemsets sharing their first n−2 items join into an
+    n-candidate; candidates with an infrequent (n−1)-subset are pruned
+    (the Apriori property, paper Section 2.2).
+    """
+    if not frequent:
+        return []
+    size = len(frequent[0])
+    if any(len(itemset) != size for itemset in frequent):
+        raise ValidationError("all itemsets in a level must share a size")
+    frequent_set = set(frequent)
+    ordered = sorted(frequent_set)
+    candidates: List[Itemset] = []
+    for index, left in enumerate(ordered):
+        for right in ordered[index + 1:]:
+            if left[:-1] != right[:-1]:
+                break
+            candidate = left + (right[-1],)
+            if has_all_subsets(candidate, frequent_set):
+                candidates.append(candidate)
+    return candidates
+
+
+def has_all_subsets(candidate: Itemset, frequent: set) -> bool:
+    """True iff every (n−1)-subset of ``candidate`` is in ``frequent``."""
+    size = len(candidate)
+    if size <= 1:
+        return True
+    return all(
+        candidate[:index] + candidate[index + 1:] in frequent
+        for index in range(size)
+    )
+
+
+def format_itemset(
+    itemset: Iterable[int], labels: Sequence[str] | None = None
+) -> str:
+    """Human-readable rendering, e.g. ``{3, 7, 12}`` or ``{milk, bread}``."""
+    items = canonical_itemset(itemset)
+    if labels is not None:
+        rendered = ", ".join(labels[item] for item in items)
+    else:
+        rendered = ", ".join(str(item) for item in items)
+    return "{" + rendered + "}"

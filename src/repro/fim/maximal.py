@@ -1,0 +1,71 @@
+"""Maximal frequent itemsets (paper Proposition 3).
+
+A θ-frequent itemset is *maximal* when none of its supersets is
+θ-frequent.  The set of maximal frequent itemsets is itself a θ-basis
+set of minimum possible length, which motivates the clique-based
+construction of paper Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.fim.fpgrowth import fpgrowth
+from repro.fim.itemsets import Itemset
+
+
+def maximal_itemsets(mined: Dict[Itemset, int]) -> List[Itemset]:
+    """Filter a threshold mining result down to its maximal members.
+
+    ``mined`` must be downward-closed (the output of
+    :func:`~repro.fim.apriori.apriori` or
+    :func:`~repro.fim.fpgrowth.fpgrowth`); an itemset is maximal iff no
+    single-item extension of it is present.
+    """
+    present = set(mined)
+    all_items = sorted({item for itemset in present for item in itemset})
+    maximal: List[Itemset] = []
+    for itemset in present:
+        extended = False
+        itemset_set = set(itemset)
+        for item in all_items:
+            if item in itemset_set:
+                continue
+            candidate = tuple(sorted(itemset + (item,)))
+            if candidate in present:
+                extended = True
+                break
+        if not extended:
+            maximal.append(itemset)
+    return sorted(maximal)
+
+
+def mine_maximal(
+    database: TransactionDatabase,
+    min_support: int,
+    max_length: Optional[int] = None,
+) -> List[Tuple[Itemset, int]]:
+    """Mine all maximal itemsets with support ≥ ``min_support``.
+
+    Returns (itemset, support) pairs sorted by itemset.  When
+    ``max_length`` is given, maximality is relative to the
+    length-restricted family.
+    """
+    mined = fpgrowth(database, min_support, max_length=max_length)
+    return [(itemset, mined[itemset]) for itemset in maximal_itemsets(mined)]
+
+
+def is_basis_for(
+    bases: List[Itemset], frequent_itemsets: List[Itemset]
+) -> bool:
+    """Check the θ-basis covering property (paper Definition 2).
+
+    True iff every itemset in ``frequent_itemsets`` is a subset of some
+    basis in ``bases``.
+    """
+    basis_sets = [set(basis) for basis in bases]
+    return all(
+        any(set(itemset) <= basis for basis in basis_sets)
+        for itemset in frequent_itemsets
+    )

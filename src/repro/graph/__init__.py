@@ -1,0 +1,17 @@
+"""Graph substrate: the frequent-pairs graph and maximal cliques."""
+
+from repro.graph.adjacency import UndirectedGraph
+from repro.graph.bron_kerbosch import (
+    is_clique,
+    is_maximal_clique,
+    maximal_cliques,
+    maximal_cliques_of_size_at_least,
+)
+
+__all__ = [
+    "UndirectedGraph",
+    "is_clique",
+    "is_maximal_clique",
+    "maximal_cliques",
+    "maximal_cliques_of_size_at_least",
+]

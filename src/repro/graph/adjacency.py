@@ -1,0 +1,86 @@
+"""Minimal undirected graph used for the frequent-pairs graph.
+
+PrivBasis builds a graph whose nodes are the frequent items ``F`` and
+whose edges are the frequent pairs ``P`` (paper Definition 4); its
+maximal cliques over-approximate the maximal frequent itemsets
+(Proposition 5).  Only the operations Bron–Kerbosch and the basis
+constructor need are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.errors import ValidationError
+
+
+class UndirectedGraph:
+    """A simple undirected graph over hashable integer nodes."""
+
+    def __init__(
+        self,
+        nodes: Iterable[int] = (),
+        edges: Iterable[Tuple[int, int]] = (),
+    ) -> None:
+        self._adjacency: Dict[int, Set[int]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for left, right in edges:
+            self.add_edge(left, right)
+
+    def add_node(self, node: int) -> None:
+        """Add an isolated node (no-op if present)."""
+        self._adjacency.setdefault(int(node), set())
+
+    def add_edge(self, left: int, right: int) -> None:
+        """Add an undirected edge; self-loops are rejected."""
+        left, right = int(left), int(right)
+        if left == right:
+            raise ValidationError(f"self-loop on node {left} not allowed")
+        self._adjacency.setdefault(left, set()).add(right)
+        self._adjacency.setdefault(right, set()).add(left)
+
+    @property
+    def nodes(self) -> List[int]:
+        """All nodes, sorted."""
+        return sorted(self._adjacency)
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """All edges as sorted (small, large) pairs, sorted."""
+        seen = set()
+        for node, neighbors in self._adjacency.items():
+            for neighbor in neighbors:
+                edge = (node, neighbor) if node < neighbor else (neighbor, node)
+                seen.add(edge)
+        return sorted(seen)
+
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """Neighbor set of ``node`` (empty frozenset if absent)."""
+        return frozenset(self._adjacency.get(int(node), frozenset()))
+
+    def degree(self, node: int) -> int:
+        return len(self._adjacency.get(int(node), ()))
+
+    def has_edge(self, left: int, right: int) -> bool:
+        return int(right) in self._adjacency.get(int(left), ())
+
+    def __contains__(self, node: int) -> bool:
+        return int(node) in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._adjacency))
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[Tuple[int, int]], nodes: Iterable[int] = ()
+    ) -> "UndirectedGraph":
+        """Build the frequent-pairs graph from pair itemsets.
+
+        ``nodes`` adds isolated nodes (frequent items that appear in no
+        frequent pair).
+        """
+        return cls(nodes=nodes, edges=pairs)

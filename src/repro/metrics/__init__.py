@@ -1,0 +1,25 @@
+"""Utility metrics (paper Section 5) plus ranking-quality extensions."""
+
+from repro.metrics.ranking import (
+    jaccard_similarity,
+    kendall_tau,
+    precision_at,
+    precision_curve,
+    ranking_report,
+)
+from repro.metrics.utility import (
+    evaluate_release,
+    false_negative_rate,
+    relative_error,
+)
+
+__all__ = [
+    "evaluate_release",
+    "false_negative_rate",
+    "jaccard_similarity",
+    "kendall_tau",
+    "precision_at",
+    "precision_curve",
+    "ranking_report",
+    "relative_error",
+]

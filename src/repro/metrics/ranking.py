@@ -1,0 +1,132 @@
+"""Ranking-quality metrics beyond the paper's FNR / relative error.
+
+The paper evaluates releases with two numbers (Section 5): the false
+negative rate of the published *set* and the median relative error of
+the published *frequencies*.  Both ignore ranking: a release that
+returns the right k itemsets in scrambled order scores perfectly.
+For downstream consumers that read releases top-to-bottom (e.g.
+"show the 10 strongest patterns"), order matters; this module adds:
+
+* :func:`precision_at` — fraction of the released top-j that is in
+  the true top-j, for a prefix curve;
+* :func:`jaccard_similarity` — set overlap of released vs true top-k;
+* :func:`kendall_tau` — rank correlation over the common itemsets;
+* :func:`ranking_report` — all of the above in one dict.
+
+All metrics are post-processing over a release and the exact top-k
+oracle; none touch the raw data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.fim.itemsets import Itemset
+
+
+def precision_at(
+    released: Sequence[Itemset],
+    truth: Sequence[Itemset],
+    j: int,
+) -> float:
+    """Precision of the first ``j`` released itemsets vs the true
+    top-``j``.
+
+    Returns NaN when the release has no itemsets at all (nothing to
+    score); a release shorter than ``j`` is scored against its actual
+    length, penalizing only wrong content, not missing tail.
+    """
+    if j < 1:
+        raise ValidationError(f"j must be >= 1, got {j}")
+    head = list(released[:j])
+    if not head:
+        return float("nan")
+    true_head = set(truth[:j])
+    hits = sum(1 for itemset in head if itemset in true_head)
+    return hits / len(head)
+
+
+def precision_curve(
+    released: Sequence[Itemset],
+    truth: Sequence[Itemset],
+    points: Sequence[int],
+) -> List[Tuple[int, float]]:
+    """``(j, precision_at_j)`` for each prefix size in ``points``."""
+    return [(j, precision_at(released, truth, j)) for j in points]
+
+
+def jaccard_similarity(
+    released: Sequence[Itemset],
+    truth: Sequence[Itemset],
+) -> float:
+    """|released ∩ truth| / |released ∪ truth| as sets.
+
+    1.0 means identical sets (any order); 0.0 means disjoint.  Both
+    empty → 1.0 by convention.
+    """
+    released_set = set(released)
+    truth_set = set(truth)
+    union = released_set | truth_set
+    if not union:
+        return 1.0
+    return len(released_set & truth_set) / len(union)
+
+
+def kendall_tau(
+    released: Sequence[Itemset],
+    truth: Sequence[Itemset],
+) -> float:
+    """Kendall rank correlation over the itemsets present in *both*
+    rankings.
+
+    τ = (concordant − discordant) / C(n, 2) over the common itemsets,
+    comparing their positions in the two rankings.  Returns NaN when
+    fewer than 2 itemsets are common (no pairs to compare).  τ = 1
+    means the common itemsets appear in identical relative order.
+    """
+    released_position = {
+        itemset: position for position, itemset in enumerate(released)
+    }
+    truth_position = {
+        itemset: position for position, itemset in enumerate(truth)
+    }
+    common = [
+        itemset for itemset in released if itemset in truth_position
+    ]
+    n = len(common)
+    if n < 2:
+        return float("nan")
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = common[i], common[j]
+            released_order = released_position[a] - released_position[b]
+            truth_order = truth_position[a] - truth_position[b]
+            if released_order * truth_order > 0:
+                concordant += 1
+            elif released_order * truth_order < 0:
+                discordant += 1
+    pairs = n * (n - 1) // 2
+    return (concordant - discordant) / pairs
+
+
+def ranking_report(
+    released: Sequence[Itemset],
+    truth: Sequence[Itemset],
+    precision_points: Sequence[int] = (1, 5, 10, 25, 50, 100),
+) -> Dict[str, object]:
+    """All ranking metrics in one mapping.
+
+    ``precision_points`` beyond the truth length are skipped.
+    """
+    points = [
+        j for j in precision_points if j <= max(len(truth), 1)
+    ]
+    return {
+        "jaccard": jaccard_similarity(released, truth),
+        "kendall_tau": kendall_tau(released, truth),
+        "precision_curve": precision_curve(released, truth, points),
+        "common": len(set(released) & set(truth)),
+    }

@@ -1,0 +1,19 @@
+"""Association rules from (privately) released itemset frequencies.
+
+The paper motivates frequent itemset mining with "mining association
+rules" (Section 1).  Because differential privacy is closed under
+post-processing, rules derived from a private release are free: no
+additional budget is spent.
+"""
+
+from repro.rules.association import (
+    AssociationRule,
+    rules_from_release,
+    rules_from_frequencies,
+)
+
+__all__ = [
+    "AssociationRule",
+    "rules_from_frequencies",
+    "rules_from_release",
+]

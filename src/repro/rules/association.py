@@ -1,0 +1,177 @@
+"""Association-rule generation (Agrawal & Srikant style) over noisy
+frequency estimates.
+
+A rule ``X → Y`` (X, Y disjoint, non-empty) derived from the itemset
+``Z = X ∪ Y`` has
+
+* support    = f(Z)                (how often the rule fires),
+* confidence = f(Z) / f(X)         (how often Y follows given X),
+* lift       = f(Z) / (f(X)·f(Y))  (association strength vs independence).
+
+Here all frequencies come from a *released* family of estimates — in
+the private setting, the output of PrivBasis — so generation is pure
+post-processing and consumes no privacy budget.  A rule is emitted
+only when all three frequencies (Z, X, Y) are present in the family:
+estimating a missing marginal would silently degrade rule quality.
+
+Noise caveat (documented rather than hidden): confidences are ratios
+of noisy quantities and can exceed 1 or be negative when the noise is
+large relative to the counts; values are clamped to ``[0, 1]`` and the
+raw ratio kept in :attr:`AssociationRule.raw_confidence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.fim.itemsets import Itemset, canonical_itemset
+
+#: Frequencies below this are treated as zero when used as a divisor.
+_MIN_DIVISOR = 1e-12
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule ``antecedent → consequent``."""
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    lift: Optional[float]
+    raw_confidence: float
+
+    def __str__(self) -> str:
+        lhs = "{" + ", ".join(map(str, self.antecedent)) + "}"
+        rhs = "{" + ", ".join(map(str, self.consequent)) + "}"
+        lift = f"{self.lift:.2f}" if self.lift is not None else "n/a"
+        return (
+            f"{lhs} -> {rhs}  "
+            f"(supp {self.support:.4f}, conf {self.confidence:.2f}, "
+            f"lift {lift})"
+        )
+
+    @property
+    def itemset(self) -> Itemset:
+        """The underlying itemset ``antecedent ∪ consequent``."""
+        return canonical_itemset(self.antecedent + self.consequent)
+
+
+def rules_from_frequencies(
+    frequencies: Dict[Itemset, float],
+    min_support: float = 0.0,
+    min_confidence: float = 0.5,
+    max_consequent_size: Optional[int] = None,
+) -> List[AssociationRule]:
+    """Generate all rules derivable from a frequency family.
+
+    Parameters
+    ----------
+    frequencies:
+        Mapping itemset → (possibly noisy) frequency in ``[0, 1]``-ish
+        (noise may push values slightly outside; they are used as-is
+        for support and clamped only in confidence).
+    min_support:
+        Rules with ``support < min_support`` are dropped.
+    min_confidence:
+        Rules with (clamped) ``confidence < min_confidence`` are
+        dropped.
+    max_consequent_size:
+        If given, only rules with ``|Y| ≤ max_consequent_size`` are
+        generated (1 is the classic single-consequent setting).
+
+    Returns
+    -------
+    Rules sorted by (confidence, support) descending, ties broken by
+    the rule's itemsets for determinism.
+    """
+    if not 0 <= min_confidence <= 1:
+        raise ValidationError(
+            f"min_confidence must be in [0, 1], got {min_confidence}"
+        )
+    family = {
+        canonical_itemset(itemset): float(frequency)
+        for itemset, frequency in frequencies.items()
+    }
+    rules: List[AssociationRule] = []
+    for itemset, support in family.items():
+        if len(itemset) < 2 or support < min_support:
+            continue
+        for antecedent, consequent in _splits(
+            itemset, max_consequent_size
+        ):
+            antecedent_frequency = family.get(antecedent)
+            consequent_frequency = family.get(consequent)
+            if antecedent_frequency is None or consequent_frequency is None:
+                continue
+            if antecedent_frequency <= _MIN_DIVISOR:
+                continue
+            raw_confidence = support / antecedent_frequency
+            confidence = min(1.0, max(0.0, raw_confidence))
+            if confidence < min_confidence:
+                continue
+            if consequent_frequency > _MIN_DIVISOR:
+                lift = raw_confidence / consequent_frequency
+            else:
+                lift = None
+            rules.append(
+                AssociationRule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support=support,
+                    confidence=confidence,
+                    lift=lift,
+                    raw_confidence=raw_confidence,
+                )
+            )
+    rules.sort(
+        key=lambda rule: (
+            -rule.confidence,
+            -rule.support,
+            rule.antecedent,
+            rule.consequent,
+        )
+    )
+    return rules
+
+
+def rules_from_release(
+    release,
+    min_support: float = 0.0,
+    min_confidence: float = 0.5,
+    max_consequent_size: Optional[int] = None,
+) -> List[AssociationRule]:
+    """Generate rules from a private release (post-processing, ε-free).
+
+    ``release`` is any :class:`~repro.core.result.PrivateFIMResult`
+    (PrivBasis or TF output); its noisy frequencies feed
+    :func:`rules_from_frequencies` unchanged.
+    """
+    return rules_from_frequencies(
+        release.frequencies(),
+        min_support=min_support,
+        min_confidence=min_confidence,
+        max_consequent_size=max_consequent_size,
+    )
+
+
+def _splits(
+    itemset: Itemset,
+    max_consequent_size: Optional[int],
+) -> Iterable[Tuple[Itemset, Itemset]]:
+    """All (antecedent, consequent) partitions of ``itemset``."""
+    size = len(itemset)
+    largest_consequent = (
+        size - 1
+        if max_consequent_size is None
+        else min(max_consequent_size, size - 1)
+    )
+    for consequent_size in range(1, largest_consequent + 1):
+        for consequent in combinations(itemset, consequent_size):
+            antecedent = tuple(
+                item for item in itemset if item not in consequent
+            )
+            yield antecedent, canonical_itemset(consequent)

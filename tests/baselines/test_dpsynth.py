@@ -1,0 +1,120 @@
+"""Tests for the DiffPart-style synthetic release (Chen et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dpsynth import (
+    TaxonomyNode,
+    dpsynth_release,
+    dpsynth_top_k,
+    taxonomy_height,
+)
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import ValidationError
+from repro.fim.topk import exact_topk_itemset_set
+
+
+def msnbc_like(
+    num_transactions=20_000, num_items=17, seed=7
+) -> TransactionDatabase:
+    """Small-vocabulary, short-transaction data — DiffPart's regime."""
+    rng = np.random.default_rng(seed)
+    popularity = 1.0 / np.arange(1, num_items + 1) ** 1.2
+    popularity /= popularity.sum()
+    rows = []
+    for _ in range(num_transactions):
+        size = min(num_items, 1 + rng.geometric(0.45))
+        rows.append(
+            tuple(
+                np.sort(
+                    rng.choice(
+                        num_items, size=size, replace=False, p=popularity
+                    )
+                )
+            )
+        )
+    return TransactionDatabase(rows, num_items=num_items)
+
+
+class TestTaxonomy:
+    def test_children_partition_the_range(self):
+        node = TaxonomyNode(0, 17)
+        children = node.children(4)
+        assert children[0].lo == 0
+        assert children[-1].hi == 17
+        covered = []
+        for child in children:
+            covered.extend(range(child.lo, child.hi))
+        assert covered == list(range(17))
+
+    def test_leaf_has_no_children(self):
+        assert TaxonomyNode(3, 4).is_leaf
+        assert TaxonomyNode(3, 4).children(4) == []
+
+    def test_height(self):
+        assert taxonomy_height(17, 8) == 2
+        assert taxonomy_height(119, 8) == 3
+        assert taxonomy_height(1, 8) == 1
+        assert taxonomy_height(16470, 8) == 5
+
+
+class TestRelease:
+    def test_small_vocabulary_produces_data(self):
+        database = msnbc_like()
+        synthetic = dpsynth_release(database, epsilon=1.0, rng=0)
+        # DiffPart's home turf: most of the mass survives.
+        assert synthetic.num_transactions > 0.5 * (
+            database.num_transactions
+        )
+        assert synthetic.num_items == database.num_items
+
+    def test_top_k_accurate_on_small_vocabulary(self):
+        database = msnbc_like()
+        top = dpsynth_top_k(database, 15, epsilon=1.0, rng=0)
+        exact = exact_topk_itemset_set(database, 15)
+        hits = sum(1 for itemset, _ in top if itemset in exact)
+        assert hits >= 10
+
+    def test_large_vocabulary_empties_out(self, small_db):
+        # 40 items and 400 transactions of length ~8: counts spread
+        # over far more leaf partitions than the threshold tolerates
+        # (the PrivBasis paper's core criticism).
+        synthetic = dpsynth_release(small_db, epsilon=1.0, rng=0)
+        assert synthetic.num_transactions <= 40
+        assert dpsynth_top_k(small_db, 10, epsilon=1.0, rng=0) == [] or (
+            len(dpsynth_top_k(small_db, 10, epsilon=1.0, rng=0)) <= 10
+        )
+
+    def test_empty_synthetic_gives_empty_topk(self, small_db):
+        if dpsynth_release(small_db, 1.0, rng=0).num_transactions == 0:
+            assert dpsynth_top_k(small_db, 10, 1.0, rng=0) == []
+
+    def test_deterministic_under_seed(self):
+        database = msnbc_like(num_transactions=2000)
+        first = dpsynth_release(database, 1.0, rng=5)
+        second = dpsynth_release(database, 1.0, rng=5)
+        assert list(first) == list(second)
+
+    def test_more_budget_more_survivors(self):
+        database = msnbc_like(num_transactions=5000)
+        starved = dpsynth_release(database, epsilon=0.05, rng=3)
+        funded = dpsynth_release(database, epsilon=4.0, rng=3)
+        assert funded.num_transactions >= starved.num_transactions
+
+    def test_validation(self, tiny_db):
+        with pytest.raises(ValidationError):
+            dpsynth_release(tiny_db, epsilon=0.0)
+        with pytest.raises(ValidationError):
+            dpsynth_release(tiny_db, epsilon=1.0, fanout=1)
+        with pytest.raises(ValidationError):
+            dpsynth_release(tiny_db, 1.0, threshold_factor=-1.0)
+        with pytest.raises(ValidationError):
+            dpsynth_top_k(tiny_db, 0, 1.0)
+
+    def test_synthetic_items_within_vocabulary(self):
+        database = msnbc_like(num_transactions=3000)
+        synthetic = dpsynth_release(database, 1.0, rng=2)
+        for transaction in synthetic:
+            assert all(
+                0 <= item < database.num_items for item in transaction
+            )

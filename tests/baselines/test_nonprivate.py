@@ -1,0 +1,31 @@
+"""Tests for the exact (non-private) reference release."""
+
+import pytest
+
+from repro.baselines.nonprivate import exact_top_k
+from repro.errors import ValidationError
+from repro.fim.topk import top_k_itemsets
+
+
+class TestExactTopK:
+    def test_matches_miner(self, tiny_db):
+        release = exact_top_k(tiny_db, 4)
+        mined = top_k_itemsets(tiny_db, 4)
+        assert [e.itemset for e in release.itemsets] == [
+            itemset for itemset, _ in mined
+        ]
+
+    def test_exact_frequencies(self, tiny_db):
+        release = exact_top_k(tiny_db, 3)
+        for entry in release.itemsets:
+            assert entry.noisy_frequency == pytest.approx(
+                tiny_db.frequency(entry.itemset)
+            )
+            assert entry.count_variance == 0.0
+
+    def test_epsilon_is_infinite(self, tiny_db):
+        assert exact_top_k(tiny_db, 1).epsilon == float("inf")
+
+    def test_validation(self, tiny_db):
+        with pytest.raises(ValidationError):
+            exact_top_k(tiny_db, 0)

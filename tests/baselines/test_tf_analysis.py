@@ -1,0 +1,106 @@
+"""Tests for TF feasibility analysis (paper Eq. 3 and Table 2(b))."""
+
+import math
+
+import pytest
+
+from repro.baselines.tf_analysis import (
+    candidate_family_size,
+    gamma_threshold,
+    log_candidate_family_size,
+    tf_feasibility,
+)
+from repro.errors import ValidationError
+
+
+class TestCandidateFamily:
+    def test_m_one(self):
+        assert candidate_family_size(100, 1) == 100
+
+    def test_m_two(self):
+        assert candidate_family_size(10, 2) == 10 + 45
+
+    def test_huge_vocabulary_exact(self):
+        # Kosarak-scale: must not overflow.
+        size = candidate_family_size(41270, 2)
+        assert size == 41270 + 41270 * 41269 // 2
+
+    def test_log_matches_exact(self):
+        assert log_candidate_family_size(1000, 2) == pytest.approx(
+            math.log(candidate_family_size(1000, 2))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            candidate_family_size(0, 1)
+        with pytest.raises(ValidationError):
+            candidate_family_size(10, 0)
+
+
+class TestGamma:
+    def test_paper_mushroom_value(self):
+        # Paper Table 2(b): mushroom, k=100, m=2, ε=1, ρ=0.9 →
+        # γ·N = 5433 (N = 8124, |I| = 119).
+        gamma = gamma_threshold(
+            k=100, epsilon=1.0, num_transactions=8124, num_items=119,
+            m=2, rho=0.9,
+        )
+        assert gamma * 8124 == pytest.approx(5433, abs=2)
+
+    def test_paper_retail_value(self):
+        # Retail, k=100, m=1: γ·N = 5768 (|I| = 16470).
+        gamma = gamma_threshold(
+            k=100, epsilon=1.0, num_transactions=88162,
+            num_items=16470, m=1, rho=0.9,
+        )
+        assert gamma * 88162 == pytest.approx(5768, abs=2)
+
+    def test_paper_pumsb_value(self):
+        # Pumsb-star, k=200, m=3: γ·N = 21235 (|I| = 2088).
+        gamma = gamma_threshold(
+            k=200, epsilon=1.0, num_transactions=49046,
+            num_items=2088, m=3, rho=0.9,
+        )
+        assert gamma * 49046 == pytest.approx(21235, abs=5)
+
+    def test_gamma_scales_inverse_epsilon(self):
+        small = gamma_threshold(10, 2.0, 1000, 50, 2)
+        large = gamma_threshold(10, 0.5, 1000, 50, 2)
+        assert large == pytest.approx(4 * small)
+
+    def test_gamma_grows_linearly_in_k(self):
+        one = gamma_threshold(10, 1.0, 1000, 50, 2)
+        # γ(2k)/γ(k) slightly above 2 because of the ln(k/ρ) term.
+        two = gamma_threshold(20, 1.0, 1000, 50, 2)
+        assert 2.0 < two / one < 2.2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            gamma_threshold(0, 1.0, 100, 10, 1)
+        with pytest.raises(ValidationError):
+            gamma_threshold(1, 1.0, 100, 10, 1, rho=1.5)
+
+
+class TestFeasibility:
+    def test_degenerate_flag(self, dense_db):
+        # Tiny N with large k → γ explodes → degenerate.
+        row = tf_feasibility(dense_db, k=50, m=2, epsilon=0.5)
+        assert row.is_degenerate
+        assert row.truncation_frequency <= 0 or row.gamma >= row.fk
+
+    def test_feasible_at_huge_epsilon(self, dense_db):
+        row = tf_feasibility(dense_db, k=5, m=2, epsilon=1000.0)
+        assert not row.is_degenerate
+        assert row.truncation_frequency > 0
+
+    def test_row_fields(self, dense_db):
+        row = tf_feasibility(
+            dense_db, k=10, m=2, epsilon=1.0, dataset="dense"
+        )
+        assert row.dataset == "dense"
+        assert row.fk_count == pytest.approx(
+            row.fk * dense_db.num_transactions
+        )
+        assert row.universe_size == candidate_family_size(
+            dense_db.num_items, 2
+        )

@@ -1,0 +1,96 @@
+"""Shared fixtures: small deterministic databases and brute-force oracles."""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import QuestConfig, generate_quest
+from repro.datasets.transactions import Itemset, TransactionDatabase
+
+#: A hand-written database with easily verifiable supports:
+#:   item 0 appears in 6 of 8 transactions, {0,1} in 4, {0,1,2} in 3, …
+TINY_TRANSACTIONS: List[Tuple[int, ...]] = [
+    (0, 1, 2),
+    (0, 1, 2),
+    (0, 1, 2, 3),
+    (0, 1, 3),
+    (0, 2),
+    (0,),
+    (1, 4),
+    (3, 4),
+]
+
+
+@pytest.fixture()
+def tiny_db() -> TransactionDatabase:
+    """8 transactions over 5 items with hand-checkable supports."""
+    return TransactionDatabase(TINY_TRANSACTIONS, num_items=5)
+
+
+@pytest.fixture(scope="session")
+def small_db() -> TransactionDatabase:
+    """A ~400-transaction Quest database over 40 items (seeded)."""
+    config = QuestConfig(
+        num_transactions=400,
+        num_items=40,
+        avg_transaction_length=8.0,
+        avg_pattern_length=3.0,
+        num_patterns=25,
+    )
+    return generate_quest(config, rng=7)
+
+
+@pytest.fixture(scope="session")
+def dense_db() -> TransactionDatabase:
+    """A dense correlated database: a planted 6-item block + noise.
+
+    The block {0..5} co-occurs in ~60% of transactions, giving deep
+    frequent itemsets — the single-basis regime in miniature.
+    """
+    rng = np.random.default_rng(11)
+    transactions = []
+    for _ in range(500):
+        row = set()
+        if rng.random() < 0.6:
+            row.update(i for i in range(6) if rng.random() < 0.95)
+        row.update(
+            6 + int(item) for item in rng.choice(14, size=3, replace=False)
+        )
+        transactions.append(sorted(row))
+    return TransactionDatabase(transactions, num_items=20)
+
+
+def brute_force_supports(
+    database: TransactionDatabase, max_size: int = 4
+) -> Dict[Itemset, int]:
+    """All itemset supports up to ``max_size``, by naive counting.
+
+    Exponential in the number of *occurring* items — only for small
+    test databases.
+    """
+    occurring = [
+        int(item)
+        for item in np.flatnonzero(database.item_supports() > 0)
+    ]
+    supports: Dict[Itemset, int] = {}
+    rows = [set(transaction) for transaction in database]
+    for size in range(1, max_size + 1):
+        for candidate in combinations(occurring, size):
+            candidate_set = set(candidate)
+            count = sum(1 for row in rows if candidate_set <= row)
+            if count > 0:
+                supports[candidate] = count
+    return supports
+
+
+def brute_force_topk(
+    database: TransactionDatabase, k: int, max_size: int = 4
+) -> List[Tuple[Itemset, int]]:
+    """Exact top-k by brute force (library-wide tie-break order)."""
+    supports = brute_force_supports(database, max_size)
+    ranked = sorted(supports.items(), key=lambda pair: (-pair[1], pair[0]))
+    return ranked[:k]

@@ -1,0 +1,145 @@
+"""Tests for BasisFreq (paper Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import BasisSet
+from repro.core.basis_freq import (
+    basis_freq,
+    itemset_estimates_from_bins,
+    noisy_bin_counts,
+)
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import ValidationError
+from repro.fim.counting import bin_counts_for_items
+
+HUGE_EPSILON = 1e9  # noise ≈ 0: recovers exact counting
+
+
+class TestNoisyBins:
+    def test_shapes(self, tiny_db):
+        basis_set = BasisSet([(0, 1), (2, 3, 4)])
+        bins = noisy_bin_counts(tiny_db, basis_set, 1.0, rng=0)
+        assert [b.shape[0] for b in bins] == [4, 8]
+
+    def test_noise_vanishes_at_huge_epsilon(self, tiny_db):
+        basis_set = BasisSet([(0, 1, 2)])
+        noisy = noisy_bin_counts(tiny_db, basis_set, HUGE_EPSILON, rng=0)
+        exact = bin_counts_for_items(tiny_db, (0, 1, 2))
+        assert noisy[0] == pytest.approx(exact, abs=1e-3)
+
+    def test_noise_scale_grows_with_width(self, tiny_db):
+        narrow = BasisSet([(0,)])
+        wide = BasisSet([(0,), (1,), (2,), (3,), (4,)])
+        rng = np.random.default_rng(1)
+        narrow_err = np.std([
+            noisy_bin_counts(tiny_db, narrow, 0.1, rng)[0]
+            - bin_counts_for_items(tiny_db, (0,))
+            for _ in range(300)
+        ])
+        wide_err = np.std([
+            noisy_bin_counts(tiny_db, wide, 0.1, rng)[0]
+            - bin_counts_for_items(tiny_db, (0,))
+            for _ in range(300)
+        ])
+        assert wide_err > 3 * narrow_err  # scale ratio is 5
+
+    def test_validation(self, tiny_db):
+        with pytest.raises(ValidationError):
+            noisy_bin_counts(tiny_db, BasisSet([(0,)]), 0.0)
+
+
+class TestEstimates:
+    def test_exact_recovery_with_zero_noise(self, tiny_db):
+        basis_set = BasisSet([(0, 1, 2)])
+        exact_bins = [
+            bin_counts_for_items(tiny_db, (0, 1, 2)).astype(float)
+        ]
+        estimates = itemset_estimates_from_bins(
+            basis_set, exact_bins, 1.0
+        )
+        assert estimates[(0,)][0] == pytest.approx(6.0)
+        assert estimates[(0, 1)][0] == pytest.approx(4.0)
+        assert estimates[(0, 1, 2)][0] == pytest.approx(3.0)
+
+    def test_empty_itemset_excluded(self, tiny_db):
+        basis_set = BasisSet([(0, 1)])
+        bins = [bin_counts_for_items(tiny_db, (0, 1)).astype(float)]
+        estimates = itemset_estimates_from_bins(basis_set, bins, 1.0)
+        assert () not in estimates
+
+    def test_overlapping_bases_combine(self, tiny_db):
+        # Item 1 is covered by both bases; the combined estimate must
+        # average the two (here: exact bins, so both agree).
+        basis_set = BasisSet([(0, 1), (1, 2)])
+        bins = [
+            bin_counts_for_items(tiny_db, (0, 1)).astype(float),
+            bin_counts_for_items(tiny_db, (1, 2)).astype(float),
+        ]
+        estimates = itemset_estimates_from_bins(basis_set, bins, 1.0)
+        assert estimates[(1,)][0] == pytest.approx(5.0)
+        # At equal width, double coverage halves the variance compared
+        # to single coverage (item 0 is covered once, item 1 twice; both
+        # from length-2 bases).
+        assert estimates[(1,)][1] == pytest.approx(
+            estimates[(0,)][1] / 2
+        )
+
+    def test_variance_accounting_matches_equation(self, tiny_db):
+        basis_set = BasisSet([(0, 1, 2)])
+        bins = [bin_counts_for_items(tiny_db, (0, 1, 2)).astype(float)]
+        estimates = itemset_estimates_from_bins(basis_set, bins, 2.0)
+        from repro.core.error_variance import itemset_count_variance
+
+        assert estimates[(0,)][1] == pytest.approx(
+            itemset_count_variance(3, 1, 1, 2.0)
+        )
+        assert estimates[(0, 1, 2)][1] == pytest.approx(
+            itemset_count_variance(3, 3, 1, 2.0)
+        )
+
+    def test_bin_length_mismatch_rejected(self, tiny_db):
+        basis_set = BasisSet([(0, 1)])
+        with pytest.raises(ValidationError):
+            itemset_estimates_from_bins(
+                basis_set, [np.zeros(8)], 1.0
+            )
+
+
+class TestBasisFreqEndToEnd:
+    def test_recovers_exact_topk_with_huge_epsilon(self, tiny_db):
+        basis_set = BasisSet([(0, 1, 2, 3, 4)])
+        result = basis_freq(tiny_db, basis_set, 3, HUGE_EPSILON, rng=0)
+        published = [entry.itemset for entry in result.itemsets]
+        assert published[:2] == [(0,), (1,)]
+        # Third place is a three-way exact tie at support 4 ({0,1},
+        # {0,2}, {2}); infinitesimal noise breaks it arbitrarily.
+        assert published[2] in {(0, 1), (0, 2), (2,)}
+        assert result.itemsets[0].noisy_count == pytest.approx(
+            6.0, abs=1e-3
+        )
+
+    def test_returns_at_most_candidate_count(self, tiny_db):
+        basis_set = BasisSet([(0, 1)])
+        result = basis_freq(tiny_db, basis_set, 50, 1.0, rng=0)
+        assert len(result.itemsets) == 3  # |C(B)| = 3 non-empty subsets
+
+    def test_frequencies_are_counts_over_n(self, tiny_db):
+        basis_set = BasisSet([(0, 1, 2)])
+        result = basis_freq(tiny_db, basis_set, 2, HUGE_EPSILON, rng=0)
+        for entry in result.itemsets:
+            assert entry.noisy_frequency == pytest.approx(
+                entry.noisy_count / 8
+            )
+
+    def test_deterministic_under_seed(self, tiny_db):
+        basis_set = BasisSet([(0, 1, 2)])
+        first = basis_freq(tiny_db, basis_set, 3, 0.5, rng=99)
+        second = basis_freq(tiny_db, basis_set, 3, 0.5, rng=99)
+        assert [e.itemset for e in first.itemsets] == [
+            e.itemset for e in second.itemsets
+        ]
+
+    def test_validation(self, tiny_db):
+        with pytest.raises(ValidationError):
+            basis_freq(tiny_db, BasisSet([(0,)]), 0, 1.0)

@@ -1,0 +1,152 @@
+"""Tests for ConstructBasisSet (paper Algorithm 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.basis import BasisSet
+from repro.core.construct_basis import construct_basis_set
+from repro.core.error_variance import average_case_ev
+from repro.errors import ValidationError
+
+
+class TestValidation:
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValidationError):
+            construct_basis_set([], [])
+
+    def test_pair_outside_f_rejected(self):
+        with pytest.raises(ValidationError):
+            construct_basis_set([1, 2], [(1, 9)])
+
+    def test_non_pair_rejected(self):
+        with pytest.raises(ValidationError):
+            construct_basis_set([1, 2, 3], [(1, 2, 3)])
+
+    def test_max_length_minimum(self):
+        with pytest.raises(ValidationError):
+            construct_basis_set([1], [], max_basis_length=2)
+
+
+class TestStructure:
+    def test_no_pairs_gives_triples(self):
+        basis_set = construct_basis_set(range(7), [])
+        # 7 leftover items → groups of ≤ 3; EV-dissolve may rearrange
+        # but every item must be covered and length ≤ max.
+        assert set(basis_set.items) == set(range(7))
+        assert basis_set.length <= 12
+
+    def test_single_item(self):
+        basis_set = construct_basis_set([5], [])
+        assert basis_set.bases == ((5,),)
+
+    def test_clique_becomes_basis(self):
+        # Triangle 1-2-3 plus isolated items 7, 8.
+        basis_set = construct_basis_set(
+            [1, 2, 3, 7, 8], [(1, 2), (1, 3), (2, 3)]
+        )
+        assert basis_set.covers((1, 2, 3))
+        assert basis_set.covers((7,))
+        assert basis_set.covers((8,))
+
+    def test_every_input_pair_covered(self):
+        items = list(range(10))
+        pairs = [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (8, 9)]
+        basis_set = construct_basis_set(items, pairs)
+        for pair in pairs:
+            assert basis_set.covers(pair)
+
+    def test_every_item_covered(self):
+        items = list(range(15))
+        pairs = [(0, 1), (2, 3)]
+        basis_set = construct_basis_set(items, pairs)
+        for item in items:
+            assert basis_set.covers((item,))
+
+    def test_length_cap_respected(self):
+        # A large clique cannot be merged beyond the cap.
+        items = list(range(8))
+        pairs = [
+            (i, j) for i in items for j in items if i < j
+        ]
+        basis_set = construct_basis_set(items, pairs, max_basis_length=8)
+        assert basis_set.length <= 8
+
+    def test_no_subsumed_bases_in_output(self):
+        items = list(range(6))
+        pairs = [(0, 1), (1, 2), (0, 2), (3, 4)]
+        basis_set = construct_basis_set(items, pairs)
+        bases = [set(basis) for basis in basis_set]
+        for i, left in enumerate(bases):
+            for j, right in enumerate(bases):
+                if i != j:
+                    assert not left < right
+
+
+class TestEVReasoning:
+    def test_merging_overlapping_cliques_reduces_width(self):
+        # Star pairs (0,1), (0,2): cliques {0,1} and {0,2}.  Merging
+        # into {0,1,2} lowers the average EV (hand computation: 5.6 →
+        # 3.2 in relative units), so greedy merging must take it.
+        basis_set = construct_basis_set([0, 1, 2], [(0, 1), (0, 2)])
+        assert basis_set.bases == ((0, 1, 2),)
+
+    def test_disjoint_edges_stay_separate(self):
+        # For 12 disjoint edges with pair queries, merging any two
+        # (size-4 basis) strictly increases the average EV — the greedy
+        # phase must leave them alone.
+        items = list(range(24))
+        pairs = [(2 * i, 2 * i + 1) for i in range(12)]
+        basis_set = construct_basis_set(items, pairs)
+        assert basis_set.width == 12
+        assert basis_set.length == 2
+
+    def test_output_ev_not_worse_than_initial(self):
+        items = list(range(12))
+        pairs = [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7)]
+        basis_set = construct_basis_set(items, pairs)
+        queries = [(item,) for item in items] + pairs
+        final_ev = average_case_ev(list(basis_set), queries)
+        # Initial configuration: cliques + leftover triples.
+        from repro.graph.adjacency import UndirectedGraph
+        from repro.graph.bron_kerbosch import maximal_cliques
+
+        graph = UndirectedGraph.from_pairs(pairs, nodes=items)
+        cliques = [
+            clique for clique in maximal_cliques(graph)
+            if len(clique) >= 2
+        ]
+        in_pairs = {item for pair in pairs for item in pair}
+        leftovers = [item for item in items if item not in in_pairs]
+        initial = cliques + [
+            tuple(leftovers[start:start + 3])
+            for start in range(0, len(leftovers), 3)
+        ]
+        initial_ev = average_case_ev(initial, queries)
+        assert final_ev <= initial_ev + 1e-9
+
+    @given(
+        num_items=st.integers(min_value=1, max_value=14),
+        pair_seeds=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=13),
+                st.integers(min_value=0, max_value=13),
+            ),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coverage_invariant(self, num_items, pair_seeds):
+        items = list(range(num_items))
+        pairs = sorted(
+            {
+                (min(a, b), max(a, b))
+                for a, b in pair_seeds
+                if a != b and a < num_items and b < num_items
+            }
+        )
+        basis_set = construct_basis_set(items, pairs)
+        for item in items:
+            assert basis_set.covers((item,))
+        for pair in pairs:
+            assert basis_set.covers(pair)
+        assert basis_set.length <= 12

@@ -1,0 +1,144 @@
+"""Tests for the error-variance analysis (paper Section 4.2, Eq. 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.error_variance import (
+    average_case_ev,
+    bin_count_variance,
+    combine_estimates,
+    combine_variances,
+    itemset_count_variance,
+    itemset_frequency_variance,
+    singleton_grouping_ev,
+)
+from repro.errors import ValidationError
+
+
+class TestEquationFour:
+    def test_bin_variance(self):
+        # Lap(w/ε) has variance 2(w/ε)².
+        assert bin_count_variance(3, 1.5) == pytest.approx(2 * 4.0)
+
+    def test_itemset_count_variance(self):
+        # ℓ=4, |X|=2 → 2^{4−2} bins summed.
+        assert itemset_count_variance(4, 2, 1, 1.0) == pytest.approx(
+            4 * 2.0
+        )
+
+    def test_frequency_form_matches_paper(self):
+        # EV = 2^{ℓ−|X|+1} w²/(ε²N²).
+        value = itemset_frequency_variance(
+            basis_length=5, itemset_size=2, width=3, epsilon=0.5,
+            num_transactions=100,
+        )
+        expected = 2 ** (5 - 2 + 1) * 9 / (0.25 * 100 * 100)
+        assert value == pytest.approx(expected)
+
+    def test_itemset_larger_than_basis_rejected(self):
+        with pytest.raises(ValidationError):
+            itemset_count_variance(2, 3, 1, 1.0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValidationError):
+            bin_count_variance(0, 1.0)
+
+
+class TestCombination:
+    def test_paper_two_estimate_formula(self):
+        # v₁v₂/(v₁+v₂).
+        assert combine_variances([2.0, 6.0]) == pytest.approx(1.5)
+
+    def test_combined_variance_below_minimum(self):
+        assert combine_variances([4.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_estimate_passthrough(self):
+        assert combine_variances([7.0]) == pytest.approx(7.0)
+
+    def test_combine_estimates_weights(self):
+        # Weight ∝ 1/v: estimate 10 (v=1) vs 20 (v=3) → (30+20)/4 wait:
+        # value = combined_v * (10/1 + 20/3) = 0.75 * 16.667 = 12.5.
+        value, variance = combine_estimates([10.0, 20.0], [1.0, 3.0])
+        assert variance == pytest.approx(0.75)
+        assert value == pytest.approx(12.5)
+
+    def test_combine_estimates_validation(self):
+        with pytest.raises(ValidationError):
+            combine_estimates([1.0], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            combine_variances([])
+        with pytest.raises(ValidationError):
+            combine_variances([0.0])
+
+    @given(
+        variances=st.lists(
+            st.floats(min_value=0.01, max_value=100.0), min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50)
+    def test_combination_never_increases_variance(self, variances):
+        assert combine_variances(variances) <= min(variances) + 1e-12
+
+    @given(
+        estimates=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=2,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50)
+    def test_combined_estimate_within_range(self, estimates):
+        variances = [1.0] * len(estimates)
+        value, _ = combine_estimates(estimates, variances)
+        assert min(estimates) - 1e-9 <= value <= max(estimates) + 1e-9
+
+
+class TestAverageCaseEV:
+    def test_uncovered_query_is_infinite(self):
+        assert average_case_ev([(1, 2)], [(3,)]) == math.inf
+
+    def test_no_bases_is_infinite(self):
+        assert average_case_ev([], [(1,)]) == math.inf
+
+    def test_single_basis_single_query(self):
+        # One basis of length 2, query a singleton: w²·2^{2−1} = 2.
+        assert average_case_ev([(1, 2)], [(1,)]) == pytest.approx(2.0)
+
+    def test_multi_coverage_reduces_ev(self):
+        one_cover = average_case_ev([(1, 2), (3, 4)], [(1,)])
+        two_cover = average_case_ev([(1, 2), (1, 3)], [(1,)])
+        assert two_cover < one_cover
+
+    def test_merging_tradeoff_visible(self):
+        # Querying 6 singletons: six size-1 bases (w=6, ℓ=1) vs two
+        # size-3 bases (w=2, ℓ=3): 36·1 vs 4·4 per query.
+        separate = average_case_ev(
+            [(i,) for i in range(6)], [(i,) for i in range(6)]
+        )
+        grouped = average_case_ev(
+            [(0, 1, 2), (3, 4, 5)], [(i,) for i in range(6)]
+        )
+        assert grouped < separate
+
+    def test_empty_queries(self):
+        assert average_case_ev([(1,)], []) == 0.0
+
+
+class TestSingletonGroupingEV:
+    def test_paper_optimum_at_three(self):
+        # 2^{ℓ−1}/ℓ² is minimized at ℓ = 3 where it equals 4/9.
+        values = {
+            group_size: singleton_grouping_ev(group_size, 10)
+            for group_size in range(1, 9)
+        }
+        assert min(values, key=values.get) == 3
+        assert values[3] == pytest.approx(4 / 9)
+
+    def test_direct_method_is_one(self):
+        assert singleton_grouping_ev(1, 5) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            singleton_grouping_ev(0, 5)

@@ -1,0 +1,125 @@
+"""Property-based tests of the full PrivBasis pipeline on random
+databases.
+
+Hypothesis generates small random transaction databases and pipeline
+parameters; the invariants below must hold for *every* input, not
+just the curated fixtures:
+
+* structural: release size ≤ k; every released itemset is covered by
+  some basis; no duplicates; frequencies finite; counts/frequencies
+  consistent (count = frequency · N);
+* accounting: the budget ledger spends exactly ε;
+* diagnostics: λ ≥ 1; the basis set respects the length cap; the
+  single-basis branch fires exactly when λ ≤ threshold.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.privbasis import privbasis
+from repro.datasets.transactions import TransactionDatabase
+
+
+@st.composite
+def databases(draw):
+    num_items = draw(st.integers(min_value=2, max_value=10))
+    transactions = draw(
+        st.lists(
+            st.sets(
+                st.integers(min_value=0, max_value=num_items - 1),
+                min_size=0,
+                max_size=num_items,
+            ).map(tuple),
+            min_size=1,
+            max_size=40,
+        ).filter(lambda rows: any(rows))  # ≥ 1 non-empty transaction
+    )
+    return TransactionDatabase(transactions, num_items=num_items)
+
+
+@st.composite
+def pipeline_params(draw):
+    return {
+        "k": draw(st.integers(min_value=1, max_value=30)),
+        "epsilon": draw(
+            st.floats(min_value=0.01, max_value=100.0)
+        ),
+        "rng": draw(st.integers(min_value=0, max_value=2**31)),
+    }
+
+
+class TestDegenerateInputs:
+    def test_all_empty_transactions_rejected_cleanly(self):
+        import pytest
+
+        from repro.errors import ValidationError
+
+        database = TransactionDatabase([(), (), ()], num_items=3)
+        with pytest.raises(ValidationError):
+            privbasis(database, k=1, epsilon=1.0, rng=0)
+
+
+class TestPipelineInvariants:
+    @given(database=databases(), params=pipeline_params())
+    @settings(max_examples=120, deadline=None)
+    def test_structural_invariants(self, database, params):
+        release = privbasis(database, **params)
+
+        # Size and uniqueness.
+        assert len(release.itemsets) <= params["k"]
+        itemsets = [entry.itemset for entry in release.itemsets]
+        assert len(set(itemsets)) == len(itemsets)
+
+        # Coverage: everything published is a subset of some basis.
+        bases = [set(basis) for basis in release.basis_set.bases]
+        for itemset in itemsets:
+            assert any(set(itemset) <= basis for basis in bases)
+
+        # Numeric sanity.
+        n = database.num_transactions
+        for entry in release.itemsets:
+            assert math.isfinite(entry.noisy_count)
+            assert math.isfinite(entry.noisy_frequency)
+            assert entry.count_variance > 0
+            assert entry.noisy_frequency * n == (
+                entry.noisy_count
+            ) or abs(
+                entry.noisy_frequency * n - entry.noisy_count
+            ) < 1e-6 * max(1.0, abs(entry.noisy_count))
+
+        # Ordering: descending by noisy count.
+        counts = [entry.noisy_count for entry in release.itemsets]
+        assert counts == sorted(counts, reverse=True)
+
+    @given(database=databases(), params=pipeline_params())
+    @settings(max_examples=80, deadline=None)
+    def test_budget_spent_exactly(self, database, params):
+        release = privbasis(database, **params)
+        assert release.budget.spent <= params["epsilon"] * (1 + 1e-9)
+        assert release.budget.spent >= params["epsilon"] * (1 - 1e-9)
+
+    @given(database=databases(), params=pipeline_params())
+    @settings(max_examples=80, deadline=None)
+    def test_diagnostics_consistent(self, database, params):
+        release = privbasis(database, **params)
+        assert release.lam >= 1
+        assert release.lam <= database.num_items
+        assert release.basis_set.length <= 12
+        # Single-basis branch iff lambda <= threshold (default 12).
+        if release.lam <= 12:
+            assert release.used_single_basis
+            assert release.frequent_pairs == ()
+
+    @given(database=databases(), params=pipeline_params())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_under_seed(self, database, params):
+        first = privbasis(database, **params)
+        second = privbasis(database, **params)
+        assert [e.itemset for e in first.itemsets] == [
+            e.itemset for e in second.itemsets
+        ]
+        assert [e.noisy_count for e in first.itemsets] == [
+            e.noisy_count for e in second.itemsets
+        ]

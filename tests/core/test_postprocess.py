@@ -1,0 +1,183 @@
+"""Tests for consistency post-processing of noisy estimates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basis import BasisSet
+from repro.core.basis_freq import basis_freq
+from repro.core.postprocess import enforce_consistency, is_consistent
+
+
+def estimates(mapping):
+    """Shorthand: {itemset: count} → {itemset: (count, variance=1)}."""
+    return {itemset: (count, 1.0) for itemset, count in mapping.items()}
+
+
+class TestEnforceConsistency:
+    def test_already_consistent_is_untouched(self):
+        family = estimates({(0,): 10.0, (1,): 8.0, (0, 1): 5.0})
+        repaired = enforce_consistency(family)
+        assert repaired == family
+
+    def test_negative_counts_clamped_to_zero(self):
+        family = estimates({(0,): -3.0, (1,): 2.0})
+        repaired = enforce_consistency(family)
+        assert repaired[(0,)][0] == 0.0
+        assert repaired[(1,)][0] == 2.0
+
+    def test_counts_clamped_to_n(self):
+        family = estimates({(0,): 150.0})
+        repaired = enforce_consistency(family, num_transactions=100)
+        assert repaired[(0,)][0] == 100.0
+
+    def test_no_n_cap_without_num_transactions(self):
+        family = estimates({(0,): 150.0})
+        repaired = enforce_consistency(family)
+        assert repaired[(0,)][0] == 150.0
+
+    def test_subset_raised_to_superset(self):
+        # {0} estimated below {0,1}: anti-monotonicity violated.
+        family = estimates({(0,): 3.0, (0, 1): 7.0})
+        repaired = enforce_consistency(family)
+        assert repaired[(0,)][0] == 7.0
+        assert repaired[(0, 1)][0] == 7.0
+
+    def test_chain_propagates_upwards(self):
+        # The repair must propagate through intermediate sizes:
+        # {0,1,2} = 9 forces {0,1} and then {0}.
+        family = estimates({(0,): 1.0, (0, 1): 2.0, (0, 1, 2): 9.0})
+        repaired = enforce_consistency(family)
+        assert repaired[(0,)][0] == 9.0
+        assert repaired[(0, 1)][0] == 9.0
+
+    def test_gap_in_family_does_not_propagate(self):
+        # {0} and {0,1,2} are in the family but {0,1} is not; the
+        # sweep only looks one level up, so {0} keeps its value.
+        # (Documented limitation: the family produced by BasisFreq is
+        # always subset-closed, where one level is enough.)
+        family = estimates({(0,): 1.0, (0, 1, 2): 9.0})
+        repaired = enforce_consistency(family)
+        assert repaired[(0, 1, 2)][0] == 9.0
+        assert repaired[(0,)][0] == 1.0
+
+    def test_variances_passed_through(self):
+        family = {(0,): (5.0, 2.5), (0, 1): (9.0, 0.5)}
+        repaired = enforce_consistency(family)
+        assert repaired[(0,)] == (9.0, 2.5)
+        assert repaired[(0, 1)][1] == 0.5
+
+    def test_empty_family(self):
+        assert enforce_consistency({}) == {}
+
+
+class TestIsConsistent:
+    def test_detects_negative(self):
+        assert not is_consistent(estimates({(0,): -1.0}))
+
+    def test_detects_n_violation(self):
+        assert not is_consistent(
+            estimates({(0,): 11.0}), num_transactions=10
+        )
+
+    def test_detects_anti_monotonicity_violation(self):
+        assert not is_consistent(estimates({(0,): 1.0, (0, 1): 2.0}))
+
+    def test_accepts_consistent(self):
+        family = estimates({(0,): 5.0, (1,): 4.0, (0, 1): 3.0})
+        assert is_consistent(family, num_transactions=10)
+
+    def test_tolerance(self):
+        family = estimates({(0,): 1.0, (0, 1): 1.0 + 1e-12})
+        assert is_consistent(family)
+
+
+@st.composite
+def noisy_families(draw):
+    """A subset-closed family over ≤ 4 items with arbitrary counts."""
+    num_items = draw(st.integers(min_value=1, max_value=4))
+    base = tuple(range(num_items))
+    subsets = [
+        tuple(i for i in base if mask >> i & 1)
+        for mask in range(1, 2**num_items)
+    ]
+    counts = draw(
+        st.lists(
+            st.floats(
+                min_value=-50, max_value=150, allow_nan=False
+            ),
+            min_size=len(subsets),
+            max_size=len(subsets),
+        )
+    )
+    return {s: (c, 1.0) for s, c in zip(subsets, counts)}
+
+
+class TestProperties:
+    @given(noisy_families())
+    @settings(max_examples=150, deadline=None)
+    def test_repair_produces_consistency(self, family):
+        repaired = enforce_consistency(family, num_transactions=100)
+        assert is_consistent(repaired, num_transactions=100)
+
+    @given(noisy_families())
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, family):
+        once = enforce_consistency(family, num_transactions=100)
+        twice = enforce_consistency(once, num_transactions=100)
+        assert once == twice
+
+    @given(noisy_families())
+    @settings(max_examples=100, deadline=None)
+    def test_never_decreases_counts_below_clamp(self, family):
+        # The sweep only raises values (after the [0, N] clamp).
+        repaired = enforce_consistency(family, num_transactions=100)
+        for itemset, (count, _) in family.items():
+            clamped = min(max(count, 0.0), 100.0)
+            assert repaired[itemset][0] >= clamped - 1e-12
+
+    @given(noisy_families())
+    @settings(max_examples=100, deadline=None)
+    def test_keys_and_variances_preserved(self, family):
+        repaired = enforce_consistency(family)
+        assert set(repaired) == set(family)
+        for itemset in family:
+            assert repaired[itemset][1] == family[itemset][1]
+
+
+class TestIntegrationWithBasisFreq:
+    def test_basis_freq_estimates_can_be_repaired(self, tiny_db):
+        basis_set = BasisSet([(0, 1, 2), (2, 3)])
+        release = basis_freq(tiny_db, basis_set, k=5, epsilon=0.5, rng=3)
+        family = {
+            entry.itemset: (entry.noisy_count, entry.count_variance)
+            for entry in release.itemsets
+        }
+        repaired = enforce_consistency(
+            family, num_transactions=tiny_db.num_transactions
+        )
+        for itemset, (count, _) in repaired.items():
+            assert 0.0 <= count <= tiny_db.num_transactions
+
+    def test_repair_reduces_error_at_low_epsilon(self, small_db):
+        # Averaged over seeds, clamping to [0, N] cannot hurt and
+        # usually helps at very low epsilon where noise dominates.
+        basis_set = BasisSet([(0, 1, 2, 3)])
+        raw_error = 0.0
+        repaired_error = 0.0
+        n = small_db.num_transactions
+        for seed in range(20):
+            release = basis_freq(
+                small_db, basis_set, k=15, epsilon=0.02, rng=seed
+            )
+            family = {
+                entry.itemset: (entry.noisy_count, entry.count_variance)
+                for entry in release.itemsets
+            }
+            repaired = enforce_consistency(family, num_transactions=n)
+            for itemset, (count, _) in family.items():
+                truth = small_db.support(itemset)
+                raw_error += abs(count - truth)
+                repaired_error += abs(repaired[itemset][0] - truth)
+        assert repaired_error <= raw_error

@@ -1,0 +1,105 @@
+"""Tests for GetLambda and GetFreqElements (Algorithm 3, steps 1–3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.freq_elements import (
+    get_frequent_items,
+    get_frequent_pairs,
+    select_top_by_count,
+)
+from repro.core.lambda_select import get_lambda
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import ValidationError
+
+HUGE_EPSILON = 1e9
+
+
+class TestGetLambda:
+    def test_huge_epsilon_finds_structural_lambda(self, dense_db):
+        # With ~zero noise, λ is the item rank whose frequency is
+        # closest to f_{k·η}: deterministic given the data.
+        lam = get_lambda(dense_db, k=20, epsilon=HUGE_EPSILON, rng=0)
+        reference = get_lambda(dense_db, k=20, epsilon=HUGE_EPSILON,
+                               rng=999)
+        assert lam == reference  # noise-free → seed-independent
+        assert 1 <= lam <= dense_db.num_items
+
+    def test_lambda_in_range_small_epsilon(self, dense_db):
+        for seed in range(5):
+            lam = get_lambda(dense_db, k=10, epsilon=0.05, rng=seed)
+            assert 1 <= lam <= dense_db.num_items
+
+    def test_eta_inflation_does_not_shrink_lambda(self, dense_db):
+        # Larger η targets a lower θ, hence a (weakly) larger rank.
+        low = get_lambda(dense_db, k=15, epsilon=HUGE_EPSILON, eta=1.0,
+                         rng=0)
+        high = get_lambda(dense_db, k=15, epsilon=HUGE_EPSILON, eta=2.0,
+                          rng=0)
+        assert high >= low
+
+    def test_validation(self, dense_db):
+        with pytest.raises(ValidationError):
+            get_lambda(dense_db, k=0, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            get_lambda(dense_db, k=1, epsilon=-1.0)
+        with pytest.raises(ValidationError):
+            get_lambda(dense_db, k=1, epsilon=1.0, eta=0.5)
+
+    def test_empty_database_rejected(self):
+        empty = TransactionDatabase([], num_items=3)
+        with pytest.raises(ValidationError):
+            get_lambda(empty, k=1, epsilon=1.0)
+
+
+class TestSelectTopByCount:
+    def test_huge_epsilon_exact(self):
+        counts = np.array([5.0, 100.0, 50.0, 2.0])
+        picked = select_top_by_count(counts, 2, HUGE_EPSILON, rng=0)
+        assert sorted(picked) == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            select_top_by_count(np.array([1.0]), 0, 1.0)
+
+
+class TestGetFrequentItems:
+    def test_huge_epsilon_returns_true_top_items(self, tiny_db):
+        items = get_frequent_items(tiny_db, 3, HUGE_EPSILON, rng=0)
+        assert sorted(items) == [0, 1, 2]
+
+    def test_count_respected(self, tiny_db):
+        assert len(get_frequent_items(tiny_db, 4, 1.0, rng=0)) == 4
+
+    def test_no_duplicates(self, small_db):
+        items = get_frequent_items(small_db, 10, 0.5, rng=1)
+        assert len(set(items)) == 10
+
+    def test_too_many_requested(self, tiny_db):
+        with pytest.raises(ValidationError):
+            get_frequent_items(tiny_db, 6, 1.0)
+
+
+class TestGetFrequentPairs:
+    def test_huge_epsilon_returns_true_top_pairs(self, tiny_db):
+        pairs = get_frequent_pairs(
+            tiny_db, [0, 1, 2, 3], 2, HUGE_EPSILON, rng=0
+        )
+        # True pair supports: (0,1):4 (0,2):4 (1,2):3 (0,3):2 (1,3):2
+        # (2,3):1.
+        assert sorted(pairs) == [(0, 1), (0, 2)]
+
+    def test_pairs_are_within_pool(self, small_db):
+        pool = list(range(8))
+        pairs = get_frequent_pairs(small_db, pool, 5, 1.0, rng=2)
+        for a, b in pairs:
+            assert a in pool and b in pool
+            assert a < b
+
+    def test_pool_too_small(self, tiny_db):
+        with pytest.raises(ValidationError):
+            get_frequent_pairs(tiny_db, [0], 1, 1.0)
+
+    def test_requesting_more_than_available(self, tiny_db):
+        with pytest.raises(ValidationError):
+            get_frequent_pairs(tiny_db, [0, 1], 2, 1.0)

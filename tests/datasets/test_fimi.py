@@ -1,0 +1,82 @@
+"""Tests for the FIMI format reader/writer."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.fimi import (
+    fimi_dumps,
+    fimi_loads,
+    read_fimi,
+    write_fimi,
+)
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import DatasetFormatError
+
+
+class TestParsing:
+    def test_basic(self):
+        db = fimi_loads("1 2 3\n2 3\n")
+        assert db.num_transactions == 2
+        assert db.transaction(0) == (1, 2, 3)
+
+    def test_blank_lines_skipped(self):
+        db = fimi_loads("1 2\n\n\n3\n")
+        assert db.num_transactions == 2
+
+    def test_arbitrary_whitespace(self):
+        db = fimi_loads("  1\t2   3  \n")
+        assert db.transaction(0) == (1, 2, 3)
+
+    def test_non_integer_token(self):
+        with pytest.raises(DatasetFormatError, match="line 2"):
+            fimi_loads("1 2\n3 x\n")
+
+    def test_negative_item(self):
+        with pytest.raises(DatasetFormatError, match="negative"):
+            fimi_loads("1 -2\n")
+
+    def test_num_items_override(self):
+        db = fimi_loads("0 1\n", num_items=10)
+        assert db.num_items == 10
+
+    def test_empty_input(self):
+        db = fimi_loads("", num_items=1)
+        assert db.num_transactions == 0
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path, tiny_db):
+        path = tmp_path / "tiny.dat"
+        write_fimi(tiny_db, path)
+        loaded = read_fimi(path, num_items=tiny_db.num_items)
+        assert list(loaded) == list(tiny_db)
+
+    def test_stream_roundtrip(self, tiny_db):
+        buffer = io.StringIO()
+        write_fimi(tiny_db, buffer)
+        buffer.seek(0)
+        loaded = read_fimi(buffer, num_items=tiny_db.num_items)
+        assert list(loaded) == list(tiny_db)
+
+    def test_dumps_loads(self, tiny_db):
+        text = fimi_dumps(tiny_db)
+        loaded = fimi_loads(text, num_items=tiny_db.num_items)
+        assert list(loaded) == list(tiny_db)
+
+    @given(
+        transactions=st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=50),
+                min_size=1,  # FIMI cannot represent empty transactions
+                max_size=6,
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=50)
+    def test_property_roundtrip(self, transactions):
+        db = TransactionDatabase(transactions, num_items=51)
+        loaded = fimi_loads(fimi_dumps(db), num_items=51)
+        assert list(loaded) == list(db)

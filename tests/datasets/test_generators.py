@@ -1,0 +1,123 @@
+"""Regime tests for the paper-matched dataset generators.
+
+These verify the properties DESIGN.md's substitution table promises:
+shape statistics near Table 2(a) and, crucially, the top-k *structure
+regime* each experiment scenario depends on.  Generators run at reduced
+scale here to keep the suite fast; frequencies are scale-free.
+"""
+
+import pytest
+
+from repro.datasets.generators import (
+    aol_like,
+    kosarak_like,
+    mushroom_like,
+    pumsb_star_like,
+    retail_like,
+)
+from repro.datasets.stats import dataset_stats, topk_size_profile
+
+
+@pytest.fixture(scope="module")
+def mushroom():
+    return mushroom_like(rng=2012)
+
+
+@pytest.fixture(scope="module")
+def pumsb():
+    return pumsb_star_like(scale=0.3, rng=2012)
+
+
+@pytest.fixture(scope="module")
+def retail():
+    return retail_like(scale=0.3, rng=2012)
+
+
+@pytest.fixture(scope="module")
+def kosarak():
+    return kosarak_like(scale=0.05, rng=2012)
+
+
+@pytest.fixture(scope="module")
+def aol():
+    return aol_like(scale=0.05, rng=2012)
+
+
+class TestMushroomLike:
+    def test_shape(self, mushroom):
+        assert mushroom.num_transactions == 8124
+        assert mushroom.num_items == 119
+        # One value per attribute: transactions are always 23 items.
+        assert mushroom.avg_transaction_length == pytest.approx(23.0)
+
+    def test_small_lambda_regime(self, mushroom):
+        stats = dataset_stats(mushroom, 100)
+        assert stats.lam <= 12          # single-basis branch (λ ≤ 12)
+        assert stats.fk > 0.4           # dense: very frequent top-k
+
+    def test_deep_itemsets_present(self, mushroom):
+        profile = topk_size_profile(mushroom, 100)
+        assert profile[2] > 10          # many size-3 itemsets in top-100
+
+    def test_deterministic(self):
+        assert list(mushroom_like(scale=0.02, rng=5)) == list(
+            mushroom_like(scale=0.02, rng=5)
+        )
+
+    def test_scale_parameter(self):
+        db = mushroom_like(scale=0.1, rng=0)
+        assert db.num_transactions == 812
+
+
+class TestPumsbStarLike:
+    def test_shape(self, pumsb):
+        assert pumsb.num_items == 2088
+        assert pumsb.avg_transaction_length == pytest.approx(50.0)
+
+    def test_block_regime(self, pumsb):
+        stats = dataset_stats(pumsb, 200)
+        # λ stays small; the top-200 reaches size ≥ 4 (long patterns).
+        assert stats.lam <= 25
+        profile = topk_size_profile(pumsb, 200)
+        assert sum(profile[3:]) > 30    # many itemsets of size ≥ 4
+        assert stats.fk > 0.4
+
+
+class TestRetailLike:
+    def test_shape(self, retail):
+        assert retail.num_items == 16470
+        assert 8.0 < retail.avg_transaction_length < 15.0
+
+    def test_moderate_lambda_regime(self, retail):
+        stats = dataset_stats(retail, 100)
+        assert 20 <= stats.lam <= 60    # multi-basis branch (λ > 12)
+        assert stats.lam2 >= 15         # pairs matter
+        assert stats.fk < 0.15          # sparse: low top-k frequencies
+
+
+class TestKosarakLike:
+    def test_shape(self, kosarak):
+        assert kosarak.num_items == 41270
+        assert 5.0 < kosarak.avg_transaction_length < 12.0
+
+    def test_moderate_lambda_with_triples(self, kosarak):
+        stats = dataset_stats(kosarak, 200)
+        assert 20 <= stats.lam <= 70
+        assert stats.lam3 >= 20         # triples in the top-200
+
+
+class TestAolLike:
+    def test_shape(self, aol):
+        assert aol.num_items == 200_000
+        assert 25.0 < aol.avg_transaction_length < 45.0
+
+    def test_singleton_dominated_regime(self, aol):
+        profile = topk_size_profile(aol, 200)
+        singletons, pairs, triples = profile[0], profile[1], profile[2]
+        assert singletons >= 0.8 * 200  # λ ≈ k
+        assert 10 <= pairs <= 60        # the planted bigrams
+        assert triples == 0             # paper: λ₃ = 0
+
+    def test_vocabulary_override(self):
+        db = aol_like(scale=0.01, vocabulary=50_000, rng=0)
+        assert db.num_items == 50_000

@@ -1,0 +1,73 @@
+"""Tests for the dataset registry and its caches."""
+
+import pytest
+
+from repro.datasets import registry
+from repro.errors import ValidationError
+
+
+@pytest.fixture(autouse=True)
+def clean_caches():
+    registry.clear_caches()
+    yield
+    registry.clear_caches()
+
+
+class TestLoadDataset:
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            registry.load_dataset("nope")
+
+    def test_name_normalization(self):
+        db1 = registry.load_dataset("pumsb-star", scale=0.02)
+        db2 = registry.load_dataset("PUMSB_STAR", scale=0.02)
+        assert db1 is db2  # same cache entry
+
+    def test_cache_hit_same_object(self):
+        first = registry.load_dataset("mushroom", scale=0.05)
+        second = registry.load_dataset("mushroom", scale=0.05)
+        assert first is second
+
+    def test_different_scale_different_entry(self):
+        first = registry.load_dataset("mushroom", scale=0.05)
+        second = registry.load_dataset("mushroom", scale=0.06)
+        assert first is not second
+
+    def test_different_seed_different_data(self):
+        first = registry.load_dataset("mushroom", scale=0.05, seed=1)
+        second = registry.load_dataset("mushroom", scale=0.05, seed=2)
+        assert list(first) != list(second)
+
+    def test_full_scale_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert registry.full_scale_enabled()
+        monkeypatch.setenv("REPRO_FULL_SCALE", "")
+        assert not registry.full_scale_enabled()
+
+    def test_dataset_names_order(self):
+        assert registry.dataset_names() == [
+            "retail", "mushroom", "pumsb_star", "kosarak", "aol",
+        ]
+
+
+class TestTopKCache:
+    def test_cached_result_identical(self):
+        db = registry.load_dataset("mushroom", scale=0.05)
+        first = registry.cached_top_k(db, 10)
+        second = registry.cached_top_k(db, 10)
+        assert first is second
+
+    def test_max_length_keyed_separately(self):
+        db = registry.load_dataset("mushroom", scale=0.05)
+        unrestricted = registry.cached_top_k(db, 10)
+        restricted = registry.cached_top_k(db, 10, max_length=1)
+        assert all(len(i) == 1 for i, _ in restricted)
+        assert unrestricted != restricted
+
+    def test_clear_caches(self):
+        db = registry.load_dataset("mushroom", scale=0.05)
+        first = registry.cached_top_k(db, 5)
+        registry.clear_caches()
+        db2 = registry.load_dataset("mushroom", scale=0.05)
+        second = registry.cached_top_k(db2, 5)
+        assert first == second  # same values, rebuilt

@@ -1,0 +1,51 @@
+"""Tests for dataset statistics (Table 2(a) computation)."""
+
+import pytest
+
+from repro.datasets.stats import dataset_stats, topk_size_profile
+from repro.datasets.transactions import TransactionDatabase
+
+
+class TestDatasetStats:
+    def test_tiny(self, tiny_db):
+        stats = dataset_stats(tiny_db, k=3, name="tiny")
+        # Top-3: {0}:6, {1}:5, then {0,1}:4 (beats {2}:4 on the lex
+        # tie-break).
+        assert stats.name == "tiny"
+        assert stats.k == 3
+        assert stats.lam == 2
+        assert stats.lam2 == 1
+        assert stats.fk_count == 4
+        assert stats.fk == pytest.approx(0.5)
+
+    def test_lambda_counts_items_in_deeper_itemsets(self):
+        # Pair {0,1} frequent enough to enter top-2 along with {0}.
+        db = TransactionDatabase([[0, 1]] * 5 + [[0]] + [[2]], num_items=3)
+        stats = dataset_stats(db, k=3)
+        # Top-3: {0}:6, {1}:5, {0,1}:5 → λ=2, λ2=1.
+        assert stats.lam == 2
+        assert stats.lam2 == 1
+
+    def test_fewer_itemsets_than_k(self):
+        db = TransactionDatabase([[0]], num_items=1)
+        stats = dataset_stats(db, k=10)
+        assert stats.fk_count == 1  # last available itemset
+
+    def test_as_row_shape(self, tiny_db):
+        row = dataset_stats(tiny_db, 3, "t").as_row()
+        assert len(row) == 9
+        assert row[0] == "t"
+
+
+class TestSizeProfile:
+    def test_profile_sums_to_topk_size(self, tiny_db):
+        profile = topk_size_profile(tiny_db, 5)
+        assert sum(profile) == 5
+
+    def test_profile_orders_by_size(self):
+        db = TransactionDatabase([[0, 1, 2]] * 4 + [[3]], num_items=4)
+        profile = topk_size_profile(db, 7)
+        # All 7 subsets of {0,1,2} share support 4 and fill the top-7:
+        # 3 singletons, 3 pairs, 1 triple ({3}:1 is excluded).
+        assert profile[:3] == [3, 3, 1]
+        assert sum(profile) == 7

@@ -1,0 +1,89 @@
+"""Tests for the Quest synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import QuestConfig, generate_quest
+from repro.errors import ValidationError
+
+
+def small_config(**overrides) -> QuestConfig:
+    defaults = dict(
+        num_transactions=200,
+        num_items=50,
+        avg_transaction_length=6.0,
+        avg_pattern_length=3.0,
+        num_patterns=20,
+    )
+    defaults.update(overrides)
+    return QuestConfig(**defaults)
+
+
+class TestValidation:
+    def test_negative_transactions(self):
+        with pytest.raises(ValidationError):
+            generate_quest(small_config(num_transactions=-1))
+
+    def test_zero_items(self):
+        with pytest.raises(ValidationError):
+            generate_quest(small_config(num_items=0))
+
+    def test_bad_correlation(self):
+        with pytest.raises(ValidationError):
+            generate_quest(small_config(correlation=1.5))
+
+    def test_bad_corruption(self):
+        with pytest.raises(ValidationError):
+            generate_quest(small_config(corruption_mean=1.0))
+
+
+class TestGeneration:
+    def test_shape(self):
+        db = generate_quest(small_config(), rng=0)
+        assert db.num_transactions == 200
+        assert db.num_items == 50
+
+    def test_deterministic_under_seed(self):
+        first = generate_quest(small_config(), rng=42)
+        second = generate_quest(small_config(), rng=42)
+        assert list(first) == list(second)
+
+    def test_different_seeds_differ(self):
+        first = generate_quest(small_config(), rng=1)
+        second = generate_quest(small_config(), rng=2)
+        assert list(first) != list(second)
+
+    def test_no_empty_transactions(self):
+        db = generate_quest(small_config(), rng=3)
+        assert all(len(t) >= 1 for t in db)
+
+    def test_avg_length_in_ballpark(self):
+        db = generate_quest(
+            small_config(num_transactions=2000), rng=4
+        )
+        # Corruption and dedup pull the mean around; just require the
+        # right order of magnitude.
+        assert 3.0 <= db.avg_transaction_length <= 10.0
+
+    def test_items_within_vocabulary(self):
+        db = generate_quest(small_config(), rng=5)
+        for transaction in db:
+            assert all(0 <= item < 50 for item in transaction)
+
+    def test_planted_patterns_create_frequent_pairs(self):
+        # With few patterns and low corruption, some pair must be far
+        # more frequent than the independence baseline.
+        config = small_config(
+            num_transactions=1000,
+            num_patterns=5,
+            corruption_mean=0.1,
+        )
+        db = generate_quest(config, rng=6)
+        from repro.fim.topk import top_k_itemsets
+
+        top = top_k_itemsets(db, 30)
+        assert any(len(itemset) >= 2 for itemset, _ in top)
+
+    def test_zero_transactions(self):
+        db = generate_quest(small_config(num_transactions=0), rng=0)
+        assert db.num_transactions == 0

@@ -1,0 +1,130 @@
+"""Tests for the privacy-budget ledger (sequential composition)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dp.budget import PrivacyBudget
+from repro.errors import BudgetExceededError, ValidationError
+
+
+class TestConstruction:
+    def test_positive_epsilon_required(self):
+        with pytest.raises(ValidationError):
+            PrivacyBudget(0.0)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValidationError):
+            PrivacyBudget(-1.0)
+
+    def test_unlimited_budget(self):
+        budget = PrivacyBudget.unlimited()
+        budget.spend(1e9, "huge")
+        assert budget.remaining == math.inf
+
+
+class TestSpending:
+    def test_spend_records_entry(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.25, "step1")
+        assert budget.spent == pytest.approx(0.25)
+        assert budget.remaining == pytest.approx(0.75)
+        assert budget.entries[0].label == "step1"
+
+    def test_spend_returns_amount(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.spend(0.5) == 0.5
+
+    def test_overdraft_raises(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.9)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            budget.spend(0.2)
+        assert excinfo.value.requested == pytest.approx(0.2)
+        assert excinfo.value.remaining == pytest.approx(0.1)
+
+    def test_overdraft_leaves_ledger_unchanged(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.9)
+        with pytest.raises(BudgetExceededError):
+            budget.spend(0.5)
+        assert budget.spent == pytest.approx(0.9)
+
+    def test_zero_spend_rejected(self):
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(ValidationError):
+            budget.spend(0.0)
+
+    def test_exact_exhaustion_allowed(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.5)
+        budget.spend(0.5)
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_float_rounding_tolerated(self):
+        # 0.1 + 0.4 + 0.5 has float error; must still fit in ε = 1.
+        budget = PrivacyBudget(1.0)
+        for fraction in (0.1, 0.4, 0.5):
+            budget.spend(fraction)
+        budget.assert_within_budget()
+
+    def test_spend_all_consumes_remainder(self):
+        budget = PrivacyBudget(2.0)
+        budget.spend(0.75)
+        amount = budget.spend_all("rest")
+        assert amount == pytest.approx(1.25)
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_spend_all_on_empty_budget_raises(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(1.0)
+        with pytest.raises(BudgetExceededError):
+            budget.spend_all()
+
+
+class TestSplit:
+    def test_paper_alphas(self):
+        budget = PrivacyBudget(2.0)
+        amounts = budget.split((0.1, 0.4, 0.5))
+        assert amounts == pytest.approx([0.2, 0.8, 1.0])
+
+    def test_split_does_not_spend(self):
+        budget = PrivacyBudget(1.0)
+        budget.split((0.5, 0.5))
+        assert budget.spent == 0.0
+
+    def test_split_rejects_oversubscription(self):
+        with pytest.raises(ValidationError):
+            PrivacyBudget(1.0).split((0.6, 0.6))
+
+    def test_split_rejects_nonpositive_fraction(self):
+        with pytest.raises(ValidationError):
+            PrivacyBudget(1.0).split((0.5, 0.0))
+
+    def test_split_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            PrivacyBudget(1.0).split(())
+
+    def test_partial_split_allowed(self):
+        # Fractions may sum to < 1 (caller keeps the rest).
+        amounts = PrivacyBudget(1.0).split((0.3,))
+        assert amounts == pytest.approx([0.3])
+
+
+class TestCompositionProperty:
+    @given(
+        epsilon=st.floats(min_value=0.01, max_value=100.0),
+        fractions=st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_spending_split_amounts_never_overdraws(self, epsilon, fractions):
+        total = sum(fractions)
+        normalized = [fraction / total for fraction in fractions]
+        budget = PrivacyBudget(epsilon)
+        for amount in budget.split(normalized):
+            budget.spend(amount)
+        budget.assert_within_budget()
+        assert budget.spent == pytest.approx(epsilon, rel=1e-6)

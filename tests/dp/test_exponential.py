@@ -1,0 +1,123 @@
+"""Tests for the exponential mechanism (log-space / Gumbel sampling)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dp.exponential import (
+    em_probabilities,
+    em_scores,
+    exponential_mechanism,
+    exponential_mechanism_top_k,
+)
+from repro.errors import EmptySelectionError, ValidationError
+
+
+class TestScores:
+    def test_standard_halving(self):
+        scores = em_scores(np.array([0.0, 2.0]), epsilon=1.0,
+                           sensitivity=1.0)
+        assert scores[1] - scores[0] == pytest.approx(1.0)
+
+    def test_one_sided_doubles_exponent(self):
+        two_sided = em_scores(np.array([0.0, 2.0]), 1.0, 1.0)
+        one_sided = em_scores(np.array([0.0, 2.0]), 1.0, 1.0,
+                              one_sided=True)
+        assert one_sided[1] == pytest.approx(2 * two_sided[1])
+
+    def test_huge_qualities_do_not_overflow(self):
+        # ε·N-scale exponents (the paper's GetLambda regime).
+        qualities = np.array([1e6, 1e6 - 5, 0.0])
+        probabilities = em_probabilities(qualities, 1.0, 1.0)
+        assert np.all(np.isfinite(probabilities))
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValidationError):
+            em_scores(np.zeros((2, 2)), 1.0, 1.0)
+
+
+class TestSingleSelection:
+    def test_empty_domain(self):
+        with pytest.raises(EmptySelectionError):
+            exponential_mechanism(np.array([]), 1.0, 1.0)
+
+    def test_overwhelming_quality_always_wins(self):
+        qualities = np.array([0.0, 0.0, 1000.0, 0.0])
+        picks = {
+            exponential_mechanism(qualities, 1.0, 1.0, rng=seed)
+            for seed in range(50)
+        }
+        assert picks == {2}
+
+    def test_empirical_ratio_matches_exponent(self):
+        # q difference of 1, ε = 2, GS = 1 → odds ratio e^1.
+        qualities = np.array([1.0, 0.0])
+        rng = np.random.default_rng(5)
+        wins = sum(
+            exponential_mechanism(qualities, 2.0, 1.0, rng=rng) == 0
+            for _ in range(40_000)
+        )
+        expected = math.e / (1 + math.e)
+        assert wins / 40_000 == pytest.approx(expected, abs=0.01)
+
+    def test_probabilities_match_theory(self):
+        qualities = np.array([3.0, 1.0, 0.0])
+        probabilities = em_probabilities(qualities, 2.0, 1.0)
+        weights = np.exp(qualities)  # ε/(2·GS) = 1
+        assert probabilities == pytest.approx(weights / weights.sum())
+
+
+class TestTopKSelection:
+    def test_without_replacement(self):
+        qualities = np.arange(10, dtype=float)
+        picked = exponential_mechanism_top_k(qualities, 5, 10.0, 1.0,
+                                             rng=0)
+        assert len(set(picked)) == 5
+
+    def test_domain_too_small(self):
+        with pytest.raises(EmptySelectionError):
+            exponential_mechanism_top_k(np.array([1.0]), 2, 1.0, 1.0)
+
+    def test_high_budget_recovers_exact_top_k(self):
+        qualities = np.array([100.0, 90.0, 80.0, 5.0, 1.0, 0.5])
+        picked = exponential_mechanism_top_k(
+            qualities, 3, 1e5, 1.0, one_sided=True, rng=3
+        )
+        assert sorted(picked) == [0, 1, 2]
+
+    def test_budget_split_across_rounds(self):
+        # Splitting ε across k rounds weakens each round: the clear
+        # winner tops the *first draw* far less often with k = 30 than
+        # with k = 1 at the same total budget.
+        qualities = np.concatenate([[30.0], np.zeros(60)])
+        rng = np.random.default_rng(9)
+        trials = 300
+        first_hit_whole_budget = sum(
+            exponential_mechanism_top_k(qualities, 1, 2.0, 1.0,
+                                        rng=rng)[0] == 0
+            for _ in range(trials)
+        )
+        first_hit_split_budget = sum(
+            exponential_mechanism_top_k(qualities, 30, 2.0, 1.0,
+                                        rng=rng)[0] == 0
+            for _ in range(trials)
+        )
+        # ε=2, gap 30 → one-shot odds e^30 vs 60: essentially certain.
+        assert first_hit_whole_budget > 0.95 * trials
+        # ε/30 per round → odds e^1 vs 60: rarely first.
+        assert first_hit_split_budget < 0.35 * trials
+
+    @given(k=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20)
+    def test_result_length(self, k):
+        qualities = np.arange(8, dtype=float)
+        assert len(
+            exponential_mechanism_top_k(qualities, k, 1.0, 1.0, rng=0)
+        ) == k
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            exponential_mechanism_top_k(np.arange(3.0), 0, 1.0, 1.0)

@@ -1,0 +1,176 @@
+"""Tests for the two-sided geometric mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.geometric import (
+    geometric_alpha,
+    geometric_mechanism,
+    geometric_noise,
+    geometric_variance,
+)
+from repro.errors import ValidationError
+
+
+class TestAlpha:
+    def test_formula(self):
+        assert geometric_alpha(1.0, 1.0) == pytest.approx(math.exp(-1))
+        assert geometric_alpha(5.0, 1.0) == pytest.approx(math.exp(-0.2))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            geometric_alpha(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            geometric_alpha(1.0, 0.0)
+        with pytest.raises(ValidationError):
+            geometric_alpha(1.0, -2.0)
+
+
+class TestNoise:
+    def test_integer_outputs(self):
+        draws = geometric_noise(0.5, size=100, rng=0)
+        assert draws.dtype == np.int64
+
+    def test_scalar_output(self):
+        value = geometric_noise(0.5, rng=0)
+        assert isinstance(value, int)
+
+    def test_symmetric_around_zero(self):
+        rng = np.random.default_rng(1)
+        draws = geometric_noise(0.6, size=40000, rng=rng)
+        assert abs(float(draws.mean())) < 0.05
+        # Symmetry: P(Z = z) == P(Z = -z) empirically.
+        positive = np.count_nonzero(draws > 0)
+        negative = np.count_nonzero(draws < 0)
+        assert abs(positive - negative) < 0.05 * draws.size
+
+    def test_variance_matches_formula(self):
+        alpha = 0.7
+        rng = np.random.default_rng(2)
+        draws = geometric_noise(alpha, size=60000, rng=rng)
+        expected = geometric_variance(alpha)
+        assert float(draws.var()) == pytest.approx(expected, rel=0.05)
+
+    def test_distribution_shape(self):
+        # P(Z = z) proportional to alpha^{|z|}: the ratio of
+        # consecutive probabilities is alpha.
+        alpha = 0.5
+        rng = np.random.default_rng(3)
+        draws = geometric_noise(alpha, size=200000, rng=rng)
+        p0 = np.count_nonzero(draws == 0)
+        p1 = np.count_nonzero(draws == 1)
+        p2 = np.count_nonzero(draws == 2)
+        assert p1 / p0 == pytest.approx(alpha, rel=0.1)
+        assert p2 / p1 == pytest.approx(alpha, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            geometric_noise(-0.1)
+        with pytest.raises(ValidationError):
+            geometric_noise(1.0)
+
+
+class TestMechanism:
+    def test_integer_release(self):
+        noisy = geometric_mechanism(
+            np.array([10, 20, 30]), sensitivity=1.0, epsilon=1.0, rng=0
+        )
+        assert noisy.dtype == np.int64
+
+    def test_scalar_release(self):
+        noisy = geometric_mechanism(10, sensitivity=1.0, epsilon=1.0,
+                                    rng=0)
+        assert isinstance(noisy, int)
+
+    def test_tiny_noise_at_huge_epsilon(self):
+        values = np.arange(50)
+        noisy = geometric_mechanism(
+            values, sensitivity=1.0, epsilon=1e6, rng=0
+        )
+        assert np.array_equal(noisy, values)
+
+    def test_rounds_non_integer_inputs(self):
+        noisy = geometric_mechanism(
+            10.4, sensitivity=1.0, epsilon=1e6, rng=0
+        )
+        assert noisy == 10
+
+    @given(
+        epsilon=st.floats(min_value=0.01, max_value=10),
+        sensitivity=st.floats(min_value=0.5, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_variance_never_exceeds_laplace(self, epsilon, sensitivity):
+        # Var_geometric = 2a/(1-a)^2 <= Var_laplace = 2(D/e)^2 for all
+        # a = exp(-e/D), with equality in the e/D -> 0 limit.
+        alpha = geometric_alpha(sensitivity, epsilon)
+        geometric = geometric_variance(alpha)
+        laplace = 2.0 * (sensitivity / epsilon) ** 2
+        assert geometric <= laplace * (1.0 + 1e-9)
+
+    def test_variance_ratio_approaches_one_at_small_epsilon(self):
+        alpha = geometric_alpha(1.0, 0.001)
+        ratio = geometric_variance(alpha) / (2.0 * (1.0 / 0.001) ** 2)
+        assert ratio == pytest.approx(1.0, abs=0.01)
+
+    def test_alpha_zero_limit(self):
+        assert geometric_variance(0.0) == 0.0
+        assert geometric_noise(0.0) == 0
+        assert np.array_equal(
+            geometric_noise(0.0, size=3), np.zeros(3, dtype=np.int64)
+        )
+
+
+class TestBasisFreqIntegration:
+    def test_geometric_bins_are_integers(self, tiny_db):
+        from repro.core.basis import BasisSet
+        from repro.core.basis_freq import noisy_bin_counts
+
+        bins = noisy_bin_counts(
+            tiny_db, BasisSet([(0, 1, 2)]), 1.0, rng=0, noise="geometric"
+        )
+        assert all(float(value).is_integer() for value in bins[0])
+
+    def test_invalid_noise_kind(self, tiny_db):
+        from repro.core.basis import BasisSet
+        from repro.core.basis_freq import noisy_bin_counts
+
+        with pytest.raises(ValidationError):
+            noisy_bin_counts(
+                tiny_db, BasisSet([(0,)]), 1.0, noise="gaussian"
+            )
+
+    def test_privbasis_with_geometric_noise(self, dense_db):
+        from repro.core.privbasis import privbasis
+
+        release = privbasis(
+            dense_db, k=10, epsilon=1e6, noise="geometric", rng=4
+        )
+        # Huge budget: recovered counts must be near-exact.
+        for entry in release.itemsets:
+            truth = dense_db.support(entry.itemset)
+            assert entry.noisy_count == pytest.approx(truth, abs=1.0)
+
+    def test_variance_bookkeeping_uses_geometric_formula(self, tiny_db):
+        from repro.core.basis import BasisSet
+        from repro.core.basis_freq import (
+            itemset_estimates_from_bins,
+            noisy_bin_counts,
+        )
+
+        basis_set = BasisSet([(0, 1)])
+        epsilon = 0.5
+        bins = noisy_bin_counts(
+            tiny_db, basis_set, epsilon, rng=0, noise="geometric"
+        )
+        estimates = itemset_estimates_from_bins(
+            basis_set, bins, epsilon, noise="geometric"
+        )
+        alpha = geometric_alpha(1, epsilon)
+        per_bin = geometric_variance(alpha)
+        # The full-basis itemset {0,1} sums exactly one bin.
+        assert estimates[(0, 1)][1] == pytest.approx(per_bin)

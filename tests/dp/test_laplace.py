@@ -1,0 +1,95 @@
+"""Tests for the Laplace mechanism and distribution helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dp.laplace import (
+    laplace_cdf,
+    laplace_mechanism,
+    laplace_noise,
+    laplace_ppf,
+    laplace_variance,
+)
+from repro.errors import ValidationError
+
+
+class TestNoise:
+    def test_shape(self):
+        noise = laplace_noise(1.0, size=(3, 4), rng=0)
+        assert noise.shape == (3, 4)
+
+    def test_determinism_under_seed(self):
+        assert laplace_noise(1.0, size=5, rng=42) == pytest.approx(
+            laplace_noise(1.0, size=5, rng=42)
+        )
+
+    def test_empirical_mean_and_variance(self):
+        sample = laplace_noise(2.0, size=200_000, rng=1)
+        assert np.mean(sample) == pytest.approx(0.0, abs=0.05)
+        assert np.var(sample) == pytest.approx(
+            laplace_variance(2.0), rel=0.05
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValidationError):
+            laplace_noise(0.0)
+
+
+class TestMechanism:
+    def test_scalar_input_returns_float(self):
+        out = laplace_mechanism(10.0, sensitivity=1.0, epsilon=1.0, rng=0)
+        assert isinstance(out, float)
+
+    def test_vector_input_returns_array(self):
+        out = laplace_mechanism(
+            np.zeros(4), sensitivity=1.0, epsilon=1.0, rng=0
+        )
+        assert out.shape == (4,)
+
+    def test_noise_scale_tracks_sensitivity_over_epsilon(self):
+        tight = laplace_mechanism(
+            np.zeros(100_000), sensitivity=1.0, epsilon=10.0, rng=3
+        )
+        loose = laplace_mechanism(
+            np.zeros(100_000), sensitivity=1.0, epsilon=0.1, rng=3
+        )
+        assert np.std(loose) > 50 * np.std(tight)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValidationError):
+            laplace_mechanism(1.0, sensitivity=1.0, epsilon=0.0)
+
+    def test_rejects_bad_sensitivity(self):
+        with pytest.raises(ValidationError):
+            laplace_mechanism(1.0, sensitivity=-1.0, epsilon=1.0)
+
+
+class TestDistributionFunctions:
+    def test_cdf_at_zero_is_half(self):
+        assert laplace_cdf(0.0, scale=3.0) == pytest.approx(0.5)
+
+    def test_cdf_symmetry(self):
+        assert laplace_cdf(-1.7, 1.0) == pytest.approx(
+            1.0 - laplace_cdf(1.7, 1.0)
+        )
+
+    def test_ppf_bounds_validation(self):
+        with pytest.raises(ValidationError):
+            laplace_ppf(1.5, 1.0)
+
+    @given(
+        q=st.floats(min_value=1e-6, max_value=1 - 1e-6),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_ppf_inverts_cdf(self, q, scale):
+        assert laplace_cdf(laplace_ppf(q, scale), scale) == pytest.approx(
+            q, rel=1e-9, abs=1e-12
+        )
+
+    @given(x=st.floats(min_value=-50, max_value=50))
+    def test_cdf_monotone(self, x):
+        assert laplace_cdf(x, 1.0) <= laplace_cdf(x + 0.5, 1.0)
+
+    def test_variance_formula(self):
+        assert laplace_variance(3.0) == pytest.approx(18.0)

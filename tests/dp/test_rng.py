@@ -1,0 +1,49 @@
+"""Tests for RNG normalization and spawning."""
+
+import numpy as np
+import pytest
+
+from repro.dp.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(123).random() == ensure_rng(123).random()
+
+    def test_numpy_integer_seed(self):
+        assert (
+            ensure_rng(np.int64(5)).random() == ensure_rng(5).random()
+        )
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_children_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_streams_differ(self):
+        children = spawn_rngs(0, 3)
+        draws = {child.random() for child in children}
+        assert len(draws) == 3
+
+    def test_spawning_is_deterministic(self):
+        first = [child.random() for child in spawn_rngs(42, 3)]
+        second = [child.random() for child in spawn_rngs(42, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []

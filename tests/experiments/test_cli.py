@@ -1,0 +1,62 @@
+"""Tests for the experiment CLI (argument handling and artefact
+selection; heavy sweeps are covered by the benchmarks)."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCliArguments:
+    def test_unknown_artefact_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code != 0
+
+    def test_help_lists_artefacts(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for artefact in ("table2a", "table2b", "fig1", "fig5", "datasets"):
+            assert artefact in out
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--profile", "huge"])
+
+
+class TestCliExecution:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("retail", "mushroom", "pumsb_star", "kosarak", "aol"):
+            assert name in out
+        assert "REPRO_FULL_SCALE" in out
+
+    def test_table2b_runs(self, capsys):
+        assert main(["table2b"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2(b)" in out
+        assert "gamma*N" in out
+        assert "done in" in out
+
+    def test_figure_with_plot_flag(self, capsys):
+        # One-trial quick run of the cheapest figure, with charts.
+        assert main(["fig1", "--trials", "1", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "False Negative Rate" in out
+        assert "FNR vs epsilon" in out       # the ASCII chart title
+        assert "epsilon" in out
+        # Legend glyphs present.
+        assert "PB, k = 50" in out
+
+    def test_compare_subcommand(self, capsys):
+        assert main([
+            "compare", "--dataset", "mushroom", "--k", "20",
+            "--epsilon", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PrivBasis" in out
+        assert "TF" in out
+        assert "FNR" in out
+        assert "top 10 by PrivBasis" in out

@@ -1,0 +1,84 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.config import (
+    FIGURES,
+    TABLE2A_KS,
+    TABLE2B_RUNS,
+    active_profile,
+    epsilons_for,
+    figure_config,
+)
+
+
+class TestFigureConfigs:
+    def test_all_five_figures_defined(self):
+        assert sorted(FIGURES) == ["fig1", "fig2", "fig3", "fig4", "fig5"]
+
+    def test_paper_parameters(self):
+        fig1 = figure_config("fig1")
+        assert fig1.dataset == "mushroom"
+        assert [run.k for run in fig1.runs] == [50, 100]
+        assert [run.tf_m for run in fig1.runs] == [4, 2]
+        assert fig1.epsilons[0] == 0.1
+        assert fig1.epsilons[-1] == 1.0
+
+    def test_fig4_four_k_values(self):
+        fig4 = figure_config("fig4")
+        assert [run.k for run in fig4.runs] == [100, 200, 300, 400]
+
+    def test_fig5_epsilon_range(self):
+        fig5 = figure_config("fig5")
+        assert fig5.epsilons[0] == 0.5
+
+    def test_trials_default_three(self):
+        assert all(config.trials == 3 for config in FIGURES.values())
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValidationError):
+            figure_config("fig9")
+
+
+class TestProfiles:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert active_profile() == "quick"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "paper")
+        assert active_profile() == "paper"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "paper")
+        assert active_profile("quick") == "quick"
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValidationError):
+            active_profile("fast")
+
+    def test_quick_epsilons_subset_of_range(self):
+        config = figure_config("fig1")
+        quick = epsilons_for(config, "quick")
+        assert len(quick) <= 3
+        assert quick[0] == config.epsilons[0]
+        assert quick[-1] == config.epsilons[-1]
+
+    def test_paper_epsilons_full_grid(self):
+        config = figure_config("fig1")
+        assert epsilons_for(config, "paper") == config.epsilons
+
+
+class TestTableConfigs:
+    def test_table2a_covers_all_datasets(self):
+        assert sorted(TABLE2A_KS) == sorted(
+            ["retail", "mushroom", "pumsb_star", "kosarak", "aol"]
+        )
+
+    def test_table2b_matches_paper_m_values(self):
+        assert TABLE2B_RUNS["retail"] == (100, 1)
+        assert TABLE2B_RUNS["mushroom"] == (100, 2)
+        assert TABLE2B_RUNS["pumsb_star"] == (200, 3)
+        assert TABLE2B_RUNS["kosarak"] == (200, 2)
+        assert TABLE2B_RUNS["aol"] == (200, 1)

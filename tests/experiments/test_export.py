@@ -1,0 +1,103 @@
+"""Tests for CSV / JSON export of experiment results."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.privbasis import privbasis
+from repro.experiments.export import (
+    FIGURE_FIELDS,
+    RELEASE_FIELDS,
+    release_to_csv,
+    series_to_csv,
+    series_to_json,
+    write_text,
+)
+from repro.experiments.runner import SeriesResult
+
+
+@pytest.fixture()
+def series():
+    return [
+        SeriesResult(
+            label="PB, k = 50",
+            k=50,
+            epsilons=[0.1, 1.0],
+            fnr_mean=[0.5, 0.1],
+            fnr_stderr=[0.01, 0.0],
+            re_mean=[0.2, 0.05],
+            re_stderr=[0.0, 0.0],
+        ),
+        SeriesResult(
+            label="TF, k = 50, m = 2",
+            k=50,
+            epsilons=[0.1, 1.0],
+            fnr_mean=[0.9, 0.6],
+            fnr_stderr=[0.0, 0.0],
+            re_mean=[0.4, 0.2],
+            re_stderr=[0.0, 0.0],
+        ),
+    ]
+
+
+class TestSeriesCsv:
+    def test_header_and_row_count(self, series):
+        text = series_to_csv(series)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == list(FIGURE_FIELDS)
+        assert len(rows) == 1 + 4  # 2 series x 2 epsilons
+
+    def test_values_roundtrip(self, series):
+        rows = list(csv.DictReader(io.StringIO(series_to_csv(series))))
+        first = rows[0]
+        assert first["label"] == "PB, k = 50"
+        assert float(first["epsilon"]) == 0.1
+        assert float(first["fnr_mean"]) == 0.5
+
+    def test_empty_series_list(self):
+        text = series_to_csv([])
+        assert text.strip() == ",".join(FIGURE_FIELDS)
+
+
+class TestSeriesJson:
+    def test_parses_and_matches(self, series):
+        payload = json.loads(series_to_json(series))
+        assert len(payload) == 2
+        assert payload[0]["label"] == "PB, k = 50"
+        assert payload[0]["epsilons"] == [0.1, 1.0]
+        assert payload[1]["fnr_mean"] == [0.9, 0.6]
+
+
+class TestReleaseCsv:
+    def test_release_rows(self, dense_db):
+        release = privbasis(dense_db, k=5, epsilon=10.0, rng=1)
+        rows = list(
+            csv.DictReader(io.StringIO(release_to_csv(release)))
+        )
+        assert len(rows) == len(release.itemsets)
+        assert list(rows[0]) == list(RELEASE_FIELDS)
+        # Itemsets serialized as space-separated ids, rank ascending.
+        first = rows[0]
+        assert first["rank"] == "1"
+        items = tuple(int(token) for token in first["itemset"].split())
+        assert items == release.itemsets[0].itemset
+        assert int(first["size"]) == len(items)
+
+    def test_frequencies_match(self, dense_db):
+        release = privbasis(dense_db, k=5, epsilon=10.0, rng=1)
+        rows = list(
+            csv.DictReader(io.StringIO(release_to_csv(release)))
+        )
+        for row, entry in zip(rows, release.itemsets):
+            assert float(row["noisy_frequency"]) == pytest.approx(
+                entry.noisy_frequency, abs=1e-6
+            )
+
+
+class TestWriteText:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_text(path, "a,b\n1,2\n")
+        assert path.read_text() == "a,b\n1,2\n"

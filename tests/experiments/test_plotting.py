@@ -1,0 +1,142 @@
+"""Tests for the ASCII plotting helper."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.experiments.plotting import (
+    SERIES_GLYPHS,
+    ascii_plot,
+    plot_figure_panel,
+)
+from repro.experiments.runner import SeriesResult
+
+
+def simple_series(label="s", xs=(0.1, 0.5, 1.0), ys=(1.0, 0.5, 0.0)):
+    return (label, list(xs), list(ys))
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        chart = ascii_plot([simple_series("mine")], title="hello")
+        assert chart.splitlines()[0] == "hello"
+        assert "o mine" in chart
+
+    def test_extreme_points_rendered(self):
+        chart = ascii_plot(
+            [simple_series()], width=20, height=8, y_max=1.0
+        )
+        lines = chart.splitlines()
+        # First plot row (y = max) contains the y=1.0 point at x-min,
+        # last plot row (y = 0) the y=0 point at x-max.
+        assert "o" in lines[0]
+        plot_rows = [line for line in lines if "|" in line]
+        assert "o" in plot_rows[0]
+        assert "o" in plot_rows[-1]
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = ascii_plot(
+            [simple_series("a"), simple_series("b", ys=(0.0, 0.5, 1.0))]
+        )
+        assert "o a" in chart
+        assert "x b" in chart
+        assert "x" in chart.replace("x b", "")
+
+    def test_nan_points_skipped(self):
+        chart = ascii_plot(
+            [("s", [0.1, 0.5, 1.0], [math.nan, 0.5, 0.2])]
+        )
+        assert "o" in chart
+
+    def test_all_zero_series(self):
+        chart = ascii_plot([("flat", [0.1, 1.0], [0.0, 0.0])])
+        assert "o" in chart
+
+    def test_single_point(self):
+        chart = ascii_plot([("pt", [0.5], [0.3])])
+        assert "o" in chart
+
+    def test_y_max_clamps(self):
+        chart = ascii_plot(
+            [("s", [0.1, 1.0], [5.0, 0.1])], y_max=1.0, height=6
+        )
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert "o" in lines[0]  # 5.0 clamped to the top row
+
+    def test_aligned_grid(self):
+        chart = ascii_plot(
+            [simple_series()], width=30, height=8, y_max=1.0
+        )
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert len({len(row) for row in rows}) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([])
+        with pytest.raises(ValidationError):
+            ascii_plot([simple_series()], width=4)
+        with pytest.raises(ValidationError):
+            ascii_plot([("s", [1.0], [1.0, 2.0])])
+        with pytest.raises(ValidationError):
+            ascii_plot([("s", [], [])])
+        too_many = [
+            simple_series(str(index))
+            for index in range(len(SERIES_GLYPHS) + 1)
+        ]
+        with pytest.raises(ValidationError):
+            ascii_plot(too_many)
+
+    @given(
+        ys=st.lists(
+            st.floats(
+                min_value=0.0, max_value=10.0, allow_nan=False
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        width=st.integers(min_value=16, max_value=80),
+        height=st.integers(min_value=4, max_value=30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_never_crashes_and_stays_rectangular(self, ys, width, height):
+        xs = [0.1 * (index + 1) for index in range(len(ys))]
+        chart = ascii_plot(
+            [("s", xs, ys)], width=width, height=height
+        )
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(rows) == height
+        assert len({len(row) for row in rows}) == 1
+
+
+class TestPlotFigurePanel:
+    def _series(self, label, fnr):
+        return SeriesResult(
+            label=label,
+            k=50,
+            epsilons=[0.1, 0.5, 1.0],
+            fnr_mean=fnr,
+            fnr_stderr=[0.0] * 3,
+            re_mean=[0.1, 0.05, 0.01],
+            re_stderr=[0.0] * 3,
+        )
+
+    def test_pb_drawn_last(self):
+        pb = self._series("PB, k = 50", [0.2, 0.1, 0.0])
+        tf = self._series("TF, k = 50, m = 2", [0.9, 0.7, 0.6])
+        chart = plot_figure_panel([pb, tf], "fnr", "t")
+        legend = chart.splitlines()[-1]
+        # TF first (glyph o), PB second (glyph x) → PB wins collisions.
+        assert legend.index("TF") < legend.index("PB")
+
+    def test_metric_validation(self):
+        pb = self._series("PB", [0.1, 0.1, 0.1])
+        with pytest.raises(ValidationError):
+            plot_figure_panel([pb], "accuracy", "t")
+
+    def test_relative_error_metric(self):
+        pb = self._series("PB", [0.1, 0.1, 0.1])
+        chart = plot_figure_panel([pb], "relative_error", "re panel")
+        assert "re panel" in chart

@@ -1,0 +1,71 @@
+"""Tests for text rendering of results."""
+
+import math
+
+import pytest
+
+from repro.experiments.reporting import (
+    render_figure_panel,
+    render_table,
+)
+from repro.experiments.runner import SeriesResult
+
+
+def make_series(label="PB, k = 5"):
+    return SeriesResult(
+        label=label,
+        k=5,
+        epsilons=[0.5, 1.0],
+        fnr_mean=[0.25, 0.1],
+        fnr_stderr=[0.02, 0.01],
+        re_mean=[0.3, float("nan")],
+        re_stderr=[0.05, 0.0],
+    )
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in lines[3]
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.23456789e8]])
+        assert "1.23e+08" in text
+
+    def test_nan_rendered_as_na(self):
+        text = render_table(["x"], [[float("nan")]])
+        assert "n/a" in text
+
+
+class TestRenderPanel:
+    def test_fnr_panel(self):
+        text = render_figure_panel([make_series()], "fnr", "Panel A")
+        assert "Panel A" in text
+        assert "0.250±0.020" in text
+        assert "PB, k = 5" in text
+
+    def test_re_panel_with_nan(self):
+        text = render_figure_panel([make_series()], "relative_error",
+                                   "Panel B")
+        assert "0.300±0.050" in text
+        assert "n/a" in text
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            render_figure_panel([make_series()], "accuracy", "t")
+
+    def test_multiple_series_columns(self):
+        text = render_figure_panel(
+            [make_series("PB"), make_series("TF")], "fnr", "t"
+        )
+        header = text.splitlines()[1]
+        assert "PB" in header and "TF" in header

@@ -1,0 +1,93 @@
+"""Tests for the trial runner and sweeps."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.runner import (
+    MethodSpec,
+    pb_spec,
+    run_trials,
+    sweep,
+    tf_spec,
+)
+
+HUGE_EPSILON = 1e8
+
+
+class TestMethodSpecs:
+    def test_pb_label(self):
+        assert pb_spec(100).label == "PB, k = 100"
+
+    def test_tf_label_and_params(self):
+        spec = tf_spec(50, 2)
+        assert spec.label == "TF, k = 50, m = 2"
+        assert spec.params["m"] == 2
+
+    def test_unknown_kind(self, dense_db):
+        spec = MethodSpec(kind="nope", label="x")
+        with pytest.raises(ValidationError):
+            spec.run(dense_db, 5, 1.0, None)
+
+
+class TestRunTrials:
+    def test_trial_count(self, dense_db):
+        fnrs, res = run_trials(
+            dense_db, pb_spec(8), 8, 1.0, trials=4, seed=0
+        )
+        assert len(fnrs) == 4 and len(res) == 4
+
+    def test_metrics_in_range(self, dense_db):
+        fnrs, _ = run_trials(
+            dense_db, pb_spec(8), 8, 0.5, trials=3, seed=0
+        )
+        assert all(0.0 <= fnr <= 1.0 for fnr in fnrs)
+
+    def test_huge_budget_near_perfect_fnr(self, dense_db):
+        # dense_db has exact support ties at the k = 10 boundary, so a
+        # zero-noise release may legitimately swap one tied itemset.
+        fnrs, res = run_trials(
+            dense_db, pb_spec(10), 10, HUGE_EPSILON, trials=2, seed=0
+        )
+        assert all(fnr <= 0.1 for fnr in fnrs)
+        assert all(value < 1e-3 for value in res)
+
+    def test_deterministic_under_seed(self, dense_db):
+        first = run_trials(dense_db, pb_spec(8), 8, 0.3, 3, seed=5)
+        second = run_trials(dense_db, pb_spec(8), 8, 0.3, 3, seed=5)
+        assert first == second
+
+    def test_trials_validation(self, dense_db):
+        with pytest.raises(ValidationError):
+            run_trials(dense_db, pb_spec(5), 5, 1.0, trials=0, seed=0)
+
+
+class TestSweep:
+    def test_series_shape(self, dense_db):
+        series = sweep(
+            dense_db, pb_spec(8), 8, [0.5, 1.0], trials=2, seed=0
+        )
+        assert series.epsilons == [0.5, 1.0]
+        assert len(series.fnr_mean) == 2
+        assert len(series.re_stderr) == 2
+        assert series.label == "PB, k = 8"
+
+    def test_fnr_decreases_with_epsilon_on_average(self, dense_db):
+        series = sweep(
+            dense_db, pb_spec(10), 10, [0.05, HUGE_EPSILON], trials=3,
+            seed=1,
+        )
+        assert series.fnr_mean[-1] <= series.fnr_mean[0]
+
+    def test_as_rows(self, dense_db):
+        series = sweep(dense_db, pb_spec(5), 5, [1.0], trials=2, seed=0)
+        rows = series.as_rows()
+        assert len(rows) == 1
+        assert rows[0][0] == "PB, k = 5"
+
+    def test_tf_series_runs(self, dense_db):
+        series = sweep(
+            dense_db, tf_spec(8, 2), 8, [1.0], trials=2, seed=0
+        )
+        assert len(series.fnr_mean) == 1

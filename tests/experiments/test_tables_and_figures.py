@@ -1,0 +1,66 @@
+"""Smoke tests for table/figure regeneration (small scales)."""
+
+import pytest
+
+from repro.datasets import registry
+from repro.experiments.figures import run_figure
+from repro.experiments.tables import (
+    render_table2a,
+    render_table2b,
+    table2a,
+    table2b,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def small_datasets():
+    """Shrink all registry datasets so harness smoke tests are fast."""
+    registry.clear_caches()
+    original = dict(registry._GENERATORS)
+    registry._GENERATORS = {
+        name: (generator, min(quick, 0.04))
+        for name, (generator, quick) in original.items()
+    }
+    yield
+    registry._GENERATORS = original
+    registry.clear_caches()
+
+
+class TestTables:
+    def test_table2a_rows(self):
+        rows = table2a()
+        assert [row.name for row in rows] == [
+            "retail", "mushroom", "pumsb_star", "kosarak", "aol",
+        ]
+        for row in rows:
+            assert row.num_transactions > 0
+            assert row.lam >= 1
+
+    def test_table2a_render(self):
+        text = render_table2a()
+        assert "mushroom" in text
+        assert "lambda" in text
+
+    def test_table2b_rows(self):
+        rows = table2b()
+        assert len(rows) == 5
+        # At 4% scale every dataset is deeply degenerate for TF.
+        assert all(row.is_degenerate for row in rows)
+
+    def test_table2b_render(self):
+        text = render_table2b()
+        assert "gamma*N" in text
+        assert "yes" in text
+
+
+class TestFigureHarness:
+    def test_fig1_quick_smoke(self):
+        result = run_figure("fig1", profile="quick", trials=1, seed=1)
+        assert result.dataset == "mushroom"
+        assert len(result.series) == 4  # PB ×2 + TF ×2
+        rendered = result.render()
+        assert "False Negative Rate" in rendered
+        assert "Relative Error" in rendered
+        for series in result.series:
+            for value in series.fnr_mean:
+                assert 0.0 <= value <= 1.0

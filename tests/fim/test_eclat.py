@@ -1,0 +1,156 @@
+"""Tests for the Eclat vertical miner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import ValidationError
+from repro.fim.apriori import apriori
+from repro.fim.eclat import eclat
+from repro.fim.fpgrowth import fpgrowth
+
+
+class TestEclatBasic:
+    def test_singletons(self, tiny_db):
+        result = eclat(tiny_db, min_support=1, max_length=1)
+        assert result[(0,)] == 6
+        assert result[(1,)] == 5
+        assert result[(4,)] == 2
+
+    def test_pairs(self, tiny_db):
+        result = eclat(tiny_db, min_support=3)
+        assert result[(0, 1)] == 4
+        assert result[(0, 2)] == 4
+        assert result[(0, 1, 2)] == 3
+
+    def test_min_support_filters(self, tiny_db):
+        result = eclat(tiny_db, min_support=5)
+        assert (0,) in result
+        assert (1,) in result
+        assert (0, 1) not in result  # support 4
+
+    def test_max_length(self, tiny_db):
+        result = eclat(tiny_db, min_support=1, max_length=2)
+        assert all(len(itemset) <= 2 for itemset in result)
+        # The size-2 results are identical with and without the cap.
+        unlimited = eclat(tiny_db, min_support=1)
+        for itemset, support in result.items():
+            assert unlimited[itemset] == support
+
+    def test_empty_database(self):
+        database = TransactionDatabase([], num_items=3)
+        assert eclat(database, min_support=1) == {}
+
+    def test_no_frequent_items(self, tiny_db):
+        assert eclat(tiny_db, min_support=100) == {}
+
+    def test_validation(self, tiny_db):
+        with pytest.raises(ValidationError):
+            eclat(tiny_db, min_support=0)
+        with pytest.raises(ValidationError):
+            eclat(tiny_db, min_support=1, max_length=0)
+
+
+class TestEclatEquivalence:
+    """Eclat must agree exactly with Apriori and FP-Growth."""
+
+    @pytest.mark.parametrize("floor", [1, 2, 3, 5])
+    def test_tiny_db_all_floors(self, tiny_db, floor):
+        assert (
+            eclat(tiny_db, floor)
+            == apriori(tiny_db, floor)
+            == fpgrowth(tiny_db, floor)
+        )
+
+    def test_small_db(self, small_db):
+        floor = max(1, int(0.1 * small_db.num_transactions))
+        assert eclat(small_db, floor) == fpgrowth(small_db, floor)
+
+    def test_small_db_with_length_cap(self, small_db):
+        floor = max(1, int(0.05 * small_db.num_transactions))
+        assert eclat(small_db, floor, max_length=2) == fpgrowth(
+            small_db, floor, max_length=2
+        )
+
+    @given(
+        transactions=st.lists(
+            st.sets(
+                st.integers(min_value=0, max_value=7),
+                min_size=0,
+                max_size=6,
+            ).map(tuple),
+            min_size=0,
+            max_size=30,
+        ),
+        floor=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_equivalence_property(self, transactions, floor):
+        database = TransactionDatabase(transactions, num_items=8)
+        assert eclat(database, floor) == apriori(database, floor)
+
+    @given(
+        transactions=st.lists(
+            st.sets(
+                st.integers(min_value=0, max_value=5),
+                min_size=1,
+                max_size=5,
+            ).map(tuple),
+            min_size=1,
+            max_size=25,
+        ),
+        floor=st.integers(min_value=1, max_value=4),
+        max_length=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_length_cap_property(self, transactions, floor, max_length):
+        database = TransactionDatabase(transactions, num_items=6)
+        assert eclat(database, floor, max_length) == fpgrowth(
+            database, floor, max_length=max_length
+        )
+
+
+class TestEclatInvariants:
+    @given(
+        transactions=st.lists(
+            st.sets(
+                st.integers(min_value=0, max_value=6),
+                min_size=0,
+                max_size=5,
+            ).map(tuple),
+            min_size=0,
+            max_size=20,
+        ),
+        floor=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_supports_are_exact(self, transactions, floor):
+        database = TransactionDatabase(transactions, num_items=7)
+        for itemset, support in eclat(database, floor).items():
+            assert support == database.support(itemset)
+            assert support >= floor
+
+    @given(
+        transactions=st.lists(
+            st.sets(
+                st.integers(min_value=0, max_value=6),
+                min_size=0,
+                max_size=5,
+            ).map(tuple),
+            min_size=0,
+            max_size=20,
+        ),
+        floor=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_anti_monotone_closure(self, transactions, floor):
+        # Every subset of a mined itemset is mined too (Apriori
+        # property of the result family).
+        database = TransactionDatabase(transactions, num_items=7)
+        result = eclat(database, floor)
+        for itemset in result:
+            for drop in range(len(itemset)):
+                subset = itemset[:drop] + itemset[drop + 1:]
+                if subset:
+                    assert subset in result

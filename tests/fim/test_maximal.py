@@ -1,0 +1,60 @@
+"""Tests for maximal frequent itemsets and the basis-covering check."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.fim.fpgrowth import fpgrowth
+from repro.fim.maximal import is_basis_for, maximal_itemsets, mine_maximal
+
+
+class TestMaximalItemsets:
+    def test_tiny(self, tiny_db):
+        mined = fpgrowth(tiny_db, min_support=4)
+        # Frequent: {0}:6 {1}:5 {2}:4 {0,1}:4 {0,2}:4 → maximal are the
+        # two pairs.
+        assert maximal_itemsets(mined) == [(0, 1), (0, 2)]
+
+    def test_all_singletons(self):
+        db = TransactionDatabase([[0], [1], [2]], num_items=3)
+        mined = fpgrowth(db, 1)
+        assert maximal_itemsets(mined) == [(0,), (1,), (2,)]
+
+    def test_empty_input(self):
+        assert maximal_itemsets({}) == []
+
+    def test_mine_maximal_includes_supports(self, tiny_db):
+        result = mine_maximal(tiny_db, min_support=4)
+        assert result == [((0, 1), 4), ((0, 2), 4)]
+
+    @given(
+        transactions=st.lists(
+            st.lists(st.integers(min_value=0, max_value=7), max_size=5),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_maximality_property(self, transactions):
+        db = TransactionDatabase(transactions, num_items=8)
+        mined = fpgrowth(db, min_support=2)
+        maximal = set(maximal_itemsets(mined))
+        # 1. Every maximal itemset is frequent.
+        assert maximal <= set(mined)
+        # 2. No maximal itemset has a frequent strict superset.
+        for candidate in maximal:
+            for other in mined:
+                assert not set(candidate) < set(other)
+        # 3. Every frequent itemset is covered by some maximal one.
+        assert is_basis_for(sorted(maximal), sorted(mined))
+
+
+class TestIsBasisFor:
+    def test_positive(self):
+        assert is_basis_for([(1, 2, 3)], [(1,), (2, 3), (1, 3)])
+
+    def test_negative(self):
+        assert not is_basis_for([(1, 2)], [(3,)])
+
+    def test_empty_frequent_set(self):
+        assert is_basis_for([(1,)], [])

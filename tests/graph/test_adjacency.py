@@ -1,0 +1,62 @@
+"""Tests for the undirected graph structure."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.adjacency import UndirectedGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = UndirectedGraph()
+        assert len(graph) == 0
+        assert graph.nodes == []
+        assert graph.edges == []
+
+    def test_nodes_and_edges(self):
+        graph = UndirectedGraph(nodes=[5], edges=[(1, 2), (2, 3)])
+        assert graph.nodes == [1, 2, 3, 5]
+        assert graph.edges == [(1, 2), (2, 3)]
+
+    def test_edge_adds_missing_nodes(self):
+        graph = UndirectedGraph(edges=[(7, 9)])
+        assert 7 in graph and 9 in graph
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            UndirectedGraph(edges=[(1, 1)])
+
+    def test_duplicate_edges_collapse(self):
+        graph = UndirectedGraph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert graph.edges == [(1, 2)]
+        assert graph.degree(1) == 1
+
+
+class TestQueries:
+    def test_neighbors(self):
+        graph = UndirectedGraph(edges=[(1, 2), (1, 3)])
+        assert graph.neighbors(1) == frozenset({2, 3})
+        assert graph.neighbors(2) == frozenset({1})
+
+    def test_neighbors_of_absent_node(self):
+        assert UndirectedGraph().neighbors(99) == frozenset()
+
+    def test_has_edge_symmetry(self):
+        graph = UndirectedGraph(edges=[(1, 2)])
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+        assert not graph.has_edge(1, 3)
+
+    def test_degree(self):
+        graph = UndirectedGraph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert graph.degree(9) == 0
+
+    def test_iteration_sorted(self):
+        graph = UndirectedGraph(nodes=[3, 1, 2])
+        assert list(graph) == [1, 2, 3]
+
+    def test_from_pairs_with_isolated_nodes(self):
+        graph = UndirectedGraph.from_pairs([(1, 2)], nodes=[5, 6])
+        assert graph.nodes == [1, 2, 5, 6]
+        assert graph.degree(5) == 0

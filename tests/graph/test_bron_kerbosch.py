@@ -1,0 +1,131 @@
+"""Tests for Bron–Kerbosch maximal cliques, with networkx as oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.adjacency import UndirectedGraph
+from repro.graph.bron_kerbosch import (
+    is_clique,
+    is_maximal_clique,
+    maximal_cliques,
+    maximal_cliques_of_size_at_least,
+)
+
+
+def random_edge_set(node_count, edge_indices):
+    """Map integers to edges of the complete graph on node_count nodes."""
+    all_edges = [
+        (i, j)
+        for i in range(node_count)
+        for j in range(i + 1, node_count)
+    ]
+    return [all_edges[index % len(all_edges)] for index in edge_indices]
+
+
+class TestKnownGraphs:
+    def test_empty_graph(self):
+        assert maximal_cliques(UndirectedGraph()) == []
+
+    def test_single_node(self):
+        graph = UndirectedGraph(nodes=[3])
+        assert maximal_cliques(graph) == [(3,)]
+
+    def test_triangle(self):
+        graph = UndirectedGraph(edges=[(0, 1), (1, 2), (0, 2)])
+        assert maximal_cliques(graph) == [(0, 1, 2)]
+
+    def test_path_graph(self):
+        graph = UndirectedGraph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert maximal_cliques(graph) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_triangle_with_pendant(self):
+        graph = UndirectedGraph(
+            edges=[(0, 1), (1, 2), (0, 2), (2, 3)]
+        )
+        assert maximal_cliques(graph) == [(0, 1, 2), (2, 3)]
+
+    def test_isolated_node_is_singleton_clique(self):
+        graph = UndirectedGraph(nodes=[9], edges=[(0, 1)])
+        assert maximal_cliques(graph) == [(0, 1), (9,)]
+
+    def test_two_overlapping_triangles(self):
+        # The paper's over-approximation example: pairs {1,2},{2,3},
+        # {1,3},{3,4},{2,4} → cliques {1,2,3} and {2,3,4}.
+        graph = UndirectedGraph(
+            edges=[(1, 2), (2, 3), (1, 3), (3, 4), (2, 4)]
+        )
+        assert maximal_cliques(graph) == [(1, 2, 3), (2, 3, 4)]
+
+    def test_complete_graph(self):
+        nodes = range(6)
+        edges = [(i, j) for i in nodes for j in nodes if i < j]
+        graph = UndirectedGraph(edges=edges)
+        assert maximal_cliques(graph) == [tuple(nodes)]
+
+    def test_size_filter(self):
+        graph = UndirectedGraph(nodes=[9], edges=[(0, 1), (1, 2), (0, 2)])
+        assert maximal_cliques_of_size_at_least(graph, 2) == [(0, 1, 2)]
+
+
+class TestPredicates:
+    def test_is_clique(self):
+        graph = UndirectedGraph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert is_clique(graph, {0, 1, 2})
+        assert not is_clique(graph, {0, 1, 3})
+        assert is_clique(graph, {3})
+
+    def test_is_maximal_clique(self):
+        graph = UndirectedGraph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert is_maximal_clique(graph, {0, 1, 2})
+        assert not is_maximal_clique(graph, {0, 1})  # extendable by 2
+        assert is_maximal_clique(graph, {2, 3})
+
+
+class TestAgainstNetworkx:
+    @given(
+        node_count=st.integers(min_value=2, max_value=12),
+        edge_indices=st.lists(
+            st.integers(min_value=0, max_value=1000), max_size=40
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx(self, node_count, edge_indices):
+        edges = random_edge_set(node_count, edge_indices)
+        ours = UndirectedGraph(nodes=range(node_count), edges=edges)
+        theirs = nx.Graph()
+        theirs.add_nodes_from(range(node_count))
+        theirs.add_edges_from(edges)
+        expected = sorted(
+            tuple(sorted(clique)) for clique in nx.find_cliques(theirs)
+        )
+        assert maximal_cliques(ours) == expected
+
+    @given(
+        node_count=st.integers(min_value=2, max_value=10),
+        edge_indices=st.lists(
+            st.integers(min_value=0, max_value=1000), max_size=30
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_cliques_are_maximal(self, node_count, edge_indices):
+        edges = random_edge_set(node_count, edge_indices)
+        graph = UndirectedGraph(nodes=range(node_count), edges=edges)
+        for clique in maximal_cliques(graph):
+            assert is_maximal_clique(graph, set(clique))
+
+    @given(
+        node_count=st.integers(min_value=2, max_value=10),
+        edge_indices=st.lists(
+            st.integers(min_value=0, max_value=1000), max_size=30
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_node_and_edge_covered(self, node_count, edge_indices):
+        edges = random_edge_set(node_count, edge_indices)
+        graph = UndirectedGraph(nodes=range(node_count), edges=edges)
+        cliques = [set(clique) for clique in maximal_cliques(graph)]
+        for node in graph.nodes:
+            assert any(node in clique for clique in cliques)
+        for left, right in graph.edges:
+            assert any({left, right} <= clique for clique in cliques)

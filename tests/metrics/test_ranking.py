@@ -1,0 +1,140 @@
+"""Tests for ranking-quality metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.metrics.ranking import (
+    jaccard_similarity,
+    kendall_tau,
+    precision_at,
+    precision_curve,
+    ranking_report,
+)
+
+TRUTH = [(0,), (1,), (2,), (0, 1), (3,)]
+
+
+class TestPrecisionAt:
+    def test_perfect(self):
+        assert precision_at(TRUTH, TRUTH, 3) == 1.0
+
+    def test_half_wrong(self):
+        released = [(0,), (9,), (1,), (8,)]
+        assert precision_at(released, TRUTH, 4) == 0.5
+
+    def test_order_within_prefix_ignored(self):
+        released = [(2,), (0,), (1,)]
+        assert precision_at(released, TRUTH, 3) == 1.0
+
+    def test_short_release_scored_on_content(self):
+        released = [(0,), (1,)]
+        assert precision_at(released, TRUTH, 5) == 1.0
+
+    def test_empty_release_is_nan(self):
+        assert math.isnan(precision_at([], TRUTH, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            precision_at(TRUTH, TRUTH, 0)
+
+    def test_curve(self):
+        released = [(0,), (9,), (2,)]
+        curve = precision_curve(released, TRUTH, [1, 3])
+        assert curve[0] == (1, 1.0)
+        assert curve[1][0] == 3
+        assert curve[1][1] == pytest.approx(2 / 3)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity(TRUTH, list(reversed(TRUTH))) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity([(7,)], [(8,)]) == 0.0
+
+    def test_partial(self):
+        assert jaccard_similarity([(0,), (1,)], [(1,), (2,)]) == (
+            pytest.approx(1 / 3)
+        )
+
+    def test_both_empty(self):
+        assert jaccard_similarity([], []) == 1.0
+
+
+class TestKendallTau:
+    def test_identical_order(self):
+        assert kendall_tau(TRUTH, TRUTH) == 1.0
+
+    def test_reversed_order(self):
+        assert kendall_tau(list(reversed(TRUTH)), TRUTH) == -1.0
+
+    def test_partial_overlap_uses_common_only(self):
+        released = [(0,), (9,), (1,)]       # (9,) not in truth
+        assert kendall_tau(released, TRUTH) == 1.0
+
+    def test_one_swap(self):
+        released = [(1,), (0,), (2,)]
+        # pairs: (1,0) discordant, (1,2) concordant, (0,2) concordant
+        assert kendall_tau(released, TRUTH) == pytest.approx(1 / 3)
+
+    def test_too_few_common_is_nan(self):
+        assert math.isnan(kendall_tau([(0,)], TRUTH))
+        assert math.isnan(kendall_tau([(9,), (8,)], TRUTH))
+
+
+class TestRankingReport:
+    def test_keys_and_consistency(self):
+        released = [(0,), (2,), (1,)]
+        report = ranking_report(released, TRUTH)
+        assert set(report) == {
+            "jaccard", "kendall_tau", "precision_curve", "common",
+        }
+        assert report["common"] == 3
+        assert 0 <= report["jaccard"] <= 1
+
+    def test_precision_points_clipped_to_truth(self):
+        report = ranking_report(TRUTH, TRUTH, precision_points=(1, 500))
+        assert [j for j, _ in report["precision_curve"]] == [1]
+
+
+@st.composite
+def two_rankings(draw):
+    universe = [(i,) for i in range(8)]
+    released = draw(
+        st.lists(st.sampled_from(universe), max_size=8, unique=True)
+    )
+    truth = draw(
+        st.lists(st.sampled_from(universe), max_size=8, unique=True)
+    )
+    return released, truth
+
+
+class TestProperties:
+    @given(two_rankings())
+    @settings(max_examples=150, deadline=None)
+    def test_ranges(self, rankings):
+        released, truth = rankings
+        assert 0.0 <= jaccard_similarity(released, truth) <= 1.0
+        tau = kendall_tau(released, truth)
+        assert math.isnan(tau) or -1.0 <= tau <= 1.0
+
+    @given(two_rankings())
+    @settings(max_examples=100, deadline=None)
+    def test_jaccard_symmetric(self, rankings):
+        released, truth = rankings
+        assert jaccard_similarity(released, truth) == (
+            jaccard_similarity(truth, released)
+        )
+
+    @given(two_rankings())
+    @settings(max_examples=100, deadline=None)
+    def test_tau_antisymmetric_under_reversal(self, rankings):
+        released, truth = rankings
+        tau = kendall_tau(released, truth)
+        reversed_tau = kendall_tau(list(reversed(released)), truth)
+        if not math.isnan(tau):
+            assert reversed_tau == pytest.approx(-tau)

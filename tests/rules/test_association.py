@@ -1,0 +1,210 @@
+"""Tests for association-rule generation over noisy frequencies."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.privbasis import privbasis
+from repro.errors import ValidationError
+from repro.rules.association import (
+    AssociationRule,
+    rules_from_frequencies,
+    rules_from_release,
+)
+
+#: Exact frequencies of a tiny world: f(a)=0.8, f(b)=0.5, f(ab)=0.4.
+SIMPLE = {(0,): 0.8, (1,): 0.5, (0, 1): 0.4}
+
+
+class TestRulesFromFrequencies:
+    def test_basic_confidences(self):
+        rules = rules_from_frequencies(SIMPLE, min_confidence=0.0)
+        by_parts = {
+            (rule.antecedent, rule.consequent): rule for rule in rules
+        }
+        a_to_b = by_parts[((0,), (1,))]
+        assert a_to_b.confidence == pytest.approx(0.4 / 0.8)
+        assert a_to_b.support == pytest.approx(0.4)
+        assert a_to_b.lift == pytest.approx(0.4 / (0.8 * 0.5))
+        b_to_a = by_parts[((1,), (0,))]
+        assert b_to_a.confidence == pytest.approx(0.4 / 0.5)
+
+    def test_min_confidence_filters(self):
+        rules = rules_from_frequencies(SIMPLE, min_confidence=0.75)
+        assert [(r.antecedent, r.consequent) for r in rules] == [
+            ((1,), (0,))
+        ]
+
+    def test_min_support_filters(self):
+        rules = rules_from_frequencies(
+            SIMPLE, min_support=0.45, min_confidence=0.0
+        )
+        assert rules == []
+
+    def test_missing_marginal_skips_rule(self):
+        # f(b) missing: no rule with antecedent or consequent {b}
+        # can be scored for lift/confidence respectively.
+        family = {(0,): 0.8, (0, 1): 0.4}
+        rules = rules_from_frequencies(family, min_confidence=0.0)
+        assert rules == []
+
+    def test_three_way_rules(self):
+        family = {
+            (0,): 0.9,
+            (1,): 0.8,
+            (2,): 0.7,
+            (0, 1): 0.75,
+            (0, 2): 0.65,
+            (1, 2): 0.6,
+            (0, 1, 2): 0.55,
+        }
+        rules = rules_from_frequencies(family, min_confidence=0.0)
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        # All 6 single-consequent/antecedent splits of the triple plus
+        # 6 from the pairs = 6 + 6 (triple has 2-elem antecedents and
+        # 1-elem, both ways: 3 + 3) — just verify the triple's splits.
+        assert ((0, 1), (2,)) in pairs
+        assert ((2,), (0, 1)) in pairs
+        assert ((0, 2), (1,)) in pairs
+        triple_rule = next(
+            rule for rule in rules
+            if (rule.antecedent, rule.consequent) == ((0, 1), (2,))
+        )
+        assert triple_rule.confidence == pytest.approx(0.55 / 0.75)
+
+    def test_max_consequent_size(self):
+        family = {
+            (0,): 0.9, (1,): 0.8, (2,): 0.7,
+            (0, 1): 0.7, (0, 2): 0.6, (1, 2): 0.6,
+            (0, 1, 2): 0.5,
+        }
+        rules = rules_from_frequencies(
+            family, min_confidence=0.0, max_consequent_size=1
+        )
+        assert all(len(rule.consequent) == 1 for rule in rules)
+
+    def test_noisy_confidence_clamped(self):
+        # Noise made the superset "more frequent" than the subset.
+        family = {(0,): 0.3, (1,): 0.5, (0, 1): 0.45}
+        rules = rules_from_frequencies(family, min_confidence=0.0)
+        rule = next(
+            r for r in rules
+            if (r.antecedent, r.consequent) == ((0,), (1,))
+        )
+        assert rule.confidence == 1.0
+        assert rule.raw_confidence == pytest.approx(1.5)
+
+    def test_zero_antecedent_frequency_skipped(self):
+        family = {(0,): 0.0, (1,): 0.5, (0, 1): 0.1}
+        rules = rules_from_frequencies(family, min_confidence=0.0)
+        assert all(rule.antecedent != (0,) for rule in rules)
+
+    def test_sorted_by_confidence_then_support(self):
+        family = {
+            (0,): 1.0, (1,): 1.0, (2,): 1.0, (3,): 1.0,
+            (0, 1): 0.9, (2, 3): 0.5,
+        }
+        rules = rules_from_frequencies(family, min_confidence=0.0)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            rules_from_frequencies(SIMPLE, min_confidence=1.5)
+
+    def test_str_rendering(self):
+        rules = rules_from_frequencies(SIMPLE, min_confidence=0.0)
+        text = str(rules[0])
+        assert "->" in text
+        assert "conf" in text
+
+    def test_itemset_property(self):
+        rule = AssociationRule(
+            antecedent=(2,), consequent=(0, 1),
+            support=0.1, confidence=0.5, lift=None, raw_confidence=0.5,
+        )
+        assert rule.itemset == (0, 1, 2)
+
+
+class TestRulesFromRelease:
+    def test_end_to_end_on_private_release(self, dense_db):
+        release = privbasis(dense_db, k=30, epsilon=100.0, rng=5)
+        rules = rules_from_release(release, min_confidence=0.5)
+        # At huge epsilon the frequencies are near-exact, so every
+        # rule's confidence must be near its true value.
+        n = dense_db.num_transactions
+        for rule in rules[:20]:
+            whole = dense_db.support(rule.itemset) / n
+            antecedent = dense_db.support(rule.antecedent) / n
+            if antecedent > 0:
+                assert rule.confidence == pytest.approx(
+                    min(1.0, whole / antecedent), abs=0.05
+                )
+
+    def test_rules_only_from_released_itemsets(self, dense_db):
+        release = privbasis(dense_db, k=10, epsilon=100.0, rng=5)
+        released = release.itemset_set()
+        rules = rules_from_release(release, min_confidence=0.0)
+        for rule in rules:
+            assert rule.itemset in released
+            assert rule.antecedent in released
+            assert rule.consequent in released
+
+
+@st.composite
+def frequency_families(draw):
+    """Families over ≤ 5 items with anti-monotone-ish frequencies."""
+    num_items = draw(st.integers(min_value=2, max_value=5))
+    itemsets = [
+        tuple(i for i in range(num_items) if mask >> i & 1)
+        for mask in range(1, 2**num_items)
+    ]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(itemsets),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        )
+    )
+    return {
+        itemset: draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        )
+        for itemset in chosen
+    }
+
+
+class TestProperties:
+    @given(frequency_families())
+    @settings(max_examples=150, deadline=None)
+    def test_all_outputs_well_formed(self, family):
+        rules = rules_from_frequencies(family, min_confidence=0.0)
+        for rule in rules:
+            assert rule.antecedent
+            assert rule.consequent
+            assert not set(rule.antecedent) & set(rule.consequent)
+            assert 0.0 <= rule.confidence <= 1.0
+            assert rule.itemset in family
+            assert rule.antecedent in family
+            assert rule.consequent in family
+
+    @given(frequency_families(), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=100, deadline=None)
+    def test_min_confidence_monotone(self, family, cutoff):
+        loose = rules_from_frequencies(family, min_confidence=0.0)
+        strict = rules_from_frequencies(family, min_confidence=cutoff)
+        loose_keys = {(r.antecedent, r.consequent) for r in loose}
+        strict_keys = {(r.antecedent, r.consequent) for r in strict}
+        assert strict_keys <= loose_keys
+        for rule in strict:
+            assert rule.confidence >= cutoff
+
+    @given(frequency_families())
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, family):
+        first = rules_from_frequencies(family, min_confidence=0.0)
+        second = rules_from_frequencies(family, min_confidence=0.0)
+        assert first == second

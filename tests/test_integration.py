@@ -1,0 +1,139 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the exact pipelines the benchmarks run, at reduced
+scale, and check the paper's qualitative claims hold: PB beats TF,
+accuracy improves with ε, DP accounting is airtight.
+"""
+
+import pytest
+
+from repro.baselines.tf import tf_method
+from repro.core.privbasis import privbasis
+from repro.datasets.generators import mushroom_like, retail_like
+from repro.datasets.registry import cached_top_k, clear_caches
+from repro.datasets.transactions import TransactionDatabase
+from repro.dp.rng import spawn_rngs
+from repro.fim.topk import top_k_itemsets
+from repro.metrics.utility import evaluate_release
+
+
+@pytest.fixture(scope="module")
+def mushroom():
+    return mushroom_like(rng=2012)
+
+
+@pytest.fixture(scope="module")
+def retail():
+    return retail_like(scale=0.25, rng=2012)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def clean():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def average_fnr(database, method, trials=3, seed=0, **kwargs):
+    truth = cached_top_k(database, kwargs["k"])
+    total = 0.0
+    for generator in spawn_rngs(seed, trials):
+        release = method(database, rng=generator, **kwargs)
+        total += evaluate_release(release, database, truth)["fnr"]
+    return total / trials
+
+
+class TestPaperClaims:
+    def test_pb_beats_tf_on_mushroom_k100(self, mushroom):
+        """Paper Fig. 1: PB ≪ TF on mushroom at k = 100."""
+        pb = average_fnr(mushroom, privbasis, k=100, epsilon=0.5)
+        tf = average_fnr(mushroom, tf_method, k=100, epsilon=0.5, m=2)
+        assert pb < 0.2
+        assert tf > 0.5
+        assert pb < tf
+
+    def test_pb_beats_tf_on_retail(self, retail):
+        """Paper Fig. 3 regime: multi-basis PB still beats TF."""
+        pb = average_fnr(retail, privbasis, k=50, epsilon=1.0)
+        tf = average_fnr(retail, tf_method, k=50, epsilon=1.0, m=1)
+        assert pb < tf
+
+    def test_pb_fnr_improves_with_epsilon(self, mushroom):
+        low = average_fnr(mushroom, privbasis, k=100, epsilon=0.1,
+                          seed=3)
+        high = average_fnr(mushroom, privbasis, k=100, epsilon=1.0,
+                           seed=3)
+        assert high <= low
+
+    def test_pb_single_basis_on_mushroom(self, mushroom):
+        result = privbasis(mushroom, k=50, epsilon=1.0, rng=5)
+        assert result.lam <= 12
+        assert result.used_single_basis
+
+    def test_pb_multi_basis_on_retail(self, retail):
+        result = privbasis(retail, k=100, epsilon=1.0, rng=5)
+        assert result.lam > 12
+        assert result.basis_set.width > 1
+        assert result.basis_set.length <= 12
+
+
+class TestPrivacyAccounting:
+    def test_pb_spends_exactly_epsilon(self, mushroom):
+        for epsilon in (0.1, 0.5, 1.0):
+            result = privbasis(mushroom, k=50, epsilon=epsilon, rng=1)
+            assert result.budget.spent == pytest.approx(
+                epsilon, rel=1e-9
+            )
+            result.budget.assert_within_budget()
+
+    def test_pb_budget_three_or_four_entries(self, mushroom, retail):
+        single = privbasis(mushroom, k=50, epsilon=1.0, rng=1)
+        assert len(single.budget.entries) == 3  # λ, items, bins
+        multi = privbasis(retail, k=100, epsilon=1.0, rng=1)
+        assert len(multi.budget.entries) == 4  # λ, items, pairs, bins
+
+
+class TestConvergenceToExact:
+    def test_both_methods_converge(self, mushroom):
+        truth = {
+            itemset for itemset, _ in top_k_itemsets(mushroom, 30)
+        }
+        pb = privbasis(mushroom, k=30, epsilon=1e8, rng=2)
+        assert pb.itemset_set() == truth
+
+    def test_noisy_frequencies_concentrate(self, mushroom):
+        result = privbasis(mushroom, k=30, epsilon=1e8, rng=2)
+        n = mushroom.num_transactions
+        for entry in result.itemsets:
+            exact = mushroom.support(entry.itemset) / n
+            assert entry.noisy_frequency == pytest.approx(
+                exact, abs=1e-4
+            )
+
+
+class TestRobustness:
+    def test_pb_on_tiny_vocabulary(self):
+        db = TransactionDatabase(
+            [[0, 1], [0, 1], [1, 2], [0]], num_items=3
+        )
+        result = privbasis(db, k=3, epsilon=1.0, rng=0)
+        assert len(result.itemsets) == 3
+
+    def test_pb_k_exceeding_candidates(self):
+        db = TransactionDatabase([[0], [1]] * 5, num_items=2)
+        result = privbasis(db, k=40, epsilon=1.0, rng=0)
+        # Only 3 non-empty subsets of {0,1} exist.
+        assert 1 <= len(result.itemsets) <= 3
+
+    def test_tf_on_tiny_vocabulary(self):
+        db = TransactionDatabase(
+            [[0, 1], [0, 1], [1, 2], [0]], num_items=3
+        )
+        result = tf_method(db, k=3, epsilon=1.0, m=2, rng=0)
+        assert len(result.itemsets) == 3
+
+    def test_pb_handles_uniform_data(self):
+        # No structure at all: every transaction identical.
+        db = TransactionDatabase([[0, 1, 2]] * 50, num_items=3)
+        result = privbasis(db, k=5, epsilon=1.0, rng=0)
+        assert len(result.itemsets) == 5
