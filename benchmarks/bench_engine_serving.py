@@ -1,0 +1,186 @@
+"""Serving-layer benchmark: cold ``privbasis()`` vs warm sessions.
+
+Two questions, matching the engine subsystem's two claims:
+
+1. **Session reuse.**  A repeated ``(k, ε)`` workload — the serving
+   scenario — is timed two ways: *cold*, where every release rebuilds
+   all dataset-derived state from scratch (fresh
+   :class:`TransactionDatabase`, cleared registry caches — i.e. what a
+   stateless handler pays per request), and *warm*, where one
+   :class:`~repro.engine.session.PrivBasisSession` serves all
+   releases.  Every release draws fresh randomness in both modes; only
+   exact intermediates are reused.  The acceptance bar is warm ≥ 3×
+   cold per release.
+
+2. **Backend choice.**  Per-primitive latencies of
+   :class:`BitmapBackend` vs :class:`ShardedBackend` (several worker
+   counts) on a larger database.  Sharding only pays on multi-core
+   machines — the harness prints the core count so single-core results
+   read correctly.
+
+Run standalone:  ``PYTHONPATH=src python benchmarks/bench_engine_serving.py``
+or under pytest-benchmark: ``pytest benchmarks/bench_engine_serving.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.privbasis import privbasis
+from repro.datasets.registry import clear_caches
+from repro.datasets.synthetic import QuestConfig, generate_quest
+from repro.datasets.transactions import TransactionDatabase
+from repro.engine import BitmapBackend, PrivBasisSession, ShardedBackend
+
+#: The serving workload: repeated top-k releases at one (k, ε).
+K = 50
+EPSILON = 1.0
+NUM_RELEASES = 8
+
+#: Synthetic benchmark dataset (IBM Quest generator, seeded).
+SERVING_CONFIG = QuestConfig(
+    num_transactions=40_000,
+    num_items=120,
+    avg_transaction_length=10.0,
+    avg_pattern_length=4.0,
+    num_patterns=40,
+)
+BACKEND_CONFIG = QuestConfig(
+    num_transactions=200_000,
+    num_items=120,
+    avg_transaction_length=10.0,
+    avg_pattern_length=4.0,
+    num_patterns=40,
+)
+
+
+def _best_of(function, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_serving() -> dict:
+    """Cold vs warm throughput on the repeated-(k, ε) workload."""
+    database = generate_quest(SERVING_CONFIG, rng=3)
+    rows = [
+        database.transaction_array(index)
+        for index in range(database.num_transactions)
+    ]
+
+    def cold_release(seed: int):
+        # A stateless handler: fresh database object (indexes and all
+        # caches rebuilt lazily), registry memos cleared.
+        fresh = TransactionDatabase.from_sorted_rows(
+            rows, database.num_items
+        )
+        clear_caches()
+        return privbasis(fresh, k=K, epsilon=EPSILON, rng=seed)
+
+    started = time.perf_counter()
+    cold_results = [cold_release(seed) for seed in range(NUM_RELEASES)]
+    cold_per_release = (time.perf_counter() - started) / NUM_RELEASES
+
+    session = PrivBasisSession(database)
+    session.release(k=K, epsilon=EPSILON, rng=0)  # cache fill
+    started = time.perf_counter()
+    warm_results = [
+        session.release(k=K, epsilon=EPSILON, rng=seed)
+        for seed in range(1, NUM_RELEASES)
+    ]
+    warm_per_release = (time.perf_counter() - started) / (
+        NUM_RELEASES - 1
+    )
+
+    # Identical seeds must give identical outputs cold or warm.
+    for cold, warm in zip(cold_results[1:], warm_results):
+        assert [e.itemset for e in cold.itemsets] == [
+            e.itemset for e in warm.itemsets
+        ], "session caching changed a release"
+
+    return {
+        "cold_per_release_s": cold_per_release,
+        "warm_per_release_s": warm_per_release,
+        "speedup": cold_per_release / warm_per_release,
+        "cache_info": session.cache_info(),
+    }
+
+
+def bench_backends() -> dict:
+    """Per-primitive latency, bitmap vs sharded."""
+    database = generate_quest(BACKEND_CONFIG, rng=3)
+    basis = tuple(range(12))
+    pool = list(range(30))
+    variants = {
+        "bitmap": BitmapBackend(database),
+        "sharded(32k, workers=1)": ShardedBackend(
+            database, shard_size=32_768, max_workers=1
+        ),
+        "sharded(32k, workers=auto)": ShardedBackend(
+            database, shard_size=32_768
+        ),
+    }
+    results = {}
+    for name, backend in variants.items():
+        setup = _best_of(lambda b=backend: b.item_supports(), repeats=1)
+        results[name] = {
+            "setup_s": setup,
+            "bin_counts_s": _best_of(
+                lambda b=backend: b.bin_counts(basis)
+            ),
+            "pairwise_s": _best_of(
+                lambda b=backend: b.pairwise_supports(pool)
+            ),
+        }
+    reference = BitmapBackend(database)
+    for name, backend in variants.items():
+        assert (
+            backend.bin_counts(basis) == reference.bin_counts(basis)
+        ).all(), name
+    return results
+
+
+def main() -> None:
+    print(f"cpu count: {os.cpu_count()}")
+    print(
+        f"\n== serving: {NUM_RELEASES} releases of "
+        f"(k={K}, eps={EPSILON}) over "
+        f"N={SERVING_CONFIG.num_transactions} =="
+    )
+    serving = bench_serving()
+    print(f"cold per release: {serving['cold_per_release_s']*1e3:8.2f} ms")
+    print(f"warm per release: {serving['warm_per_release_s']*1e3:8.2f} ms")
+    print(f"speedup:          {serving['speedup']:8.2f}x  (bar: >= 3x)")
+    print(f"cache info:       {serving['cache_info']}")
+
+    print(
+        f"\n== backends over N={BACKEND_CONFIG.num_transactions} "
+        f"(basis length {12}, pool {30}) =="
+    )
+    for name, numbers in bench_backends().items():
+        print(
+            f"{name:28s} setup {numbers['setup_s']*1e3:8.2f} ms   "
+            f"bin_counts {numbers['bin_counts_s']*1e3:7.2f} ms   "
+            f"pairwise {numbers['pairwise_s']*1e3:7.2f} ms"
+        )
+    print(
+        "\n(sharded backends need >1 core to win; on one core they "
+        "bound memory, not latency)"
+    )
+
+
+def bench_engine_serving(benchmark):
+    """pytest-benchmark entry point (single timed run)."""
+    from conftest import run_once
+
+    result = run_once(benchmark, bench_serving)
+    print(f"\nwarm speedup: {result['speedup']:.2f}x")
+    assert result["speedup"] >= 3.0
+
+
+if __name__ == "__main__":
+    main()

@@ -17,12 +17,20 @@ Quickstart
 Public API layers:
 
 * :mod:`repro.core` — the PrivBasis algorithm and its components.
+* :mod:`repro.engine` — counting backends (bitmap / sharded) and the
+  cached :class:`~repro.engine.session.PrivBasisSession` serving layer.
 * :mod:`repro.baselines` — the TF comparison method (Bhaskar et al.).
 * :mod:`repro.fim` — exact mining (Apriori, FP-Growth, top-k oracle).
 * :mod:`repro.datasets` — transaction databases, FIMI I/O, generators.
 * :mod:`repro.dp` — Laplace / exponential mechanisms, budget ledger.
 * :mod:`repro.metrics` — FNR and relative error (paper Section 5).
 * :mod:`repro.experiments` — the table/figure reproduction harness.
+
+Serving many releases over one database?  Use a session::
+
+>>> from repro import PrivBasisSession
+>>> session = PrivBasisSession(load_dataset("mushroom"), rng=7)
+>>> warm = [session.release(k=25, epsilon=1.0) for _ in range(4)]
 """
 
 from repro.datasets import TransactionDatabase, load_dataset
@@ -38,11 +46,15 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BitmapBackend",
     "BudgetError",
     "BudgetExceededError",
+    "CountingBackend",
     "DatasetFormatError",
     "EmptySelectionError",
+    "PrivBasisSession",
     "ReproError",
+    "ShardedBackend",
     "TransactionDatabase",
     "ValidationError",
     "load_dataset",
@@ -61,6 +73,15 @@ def __getattr__(name: str):
         from repro.core.privbasis import privbasis
 
         return privbasis
+    if name in (
+        "PrivBasisSession",
+        "CountingBackend",
+        "BitmapBackend",
+        "ShardedBackend",
+    ):
+        import repro.engine as engine
+
+        return getattr(engine, name)
     if name == "privbasis_threshold":
         from repro.core.threshold import privbasis_threshold
 

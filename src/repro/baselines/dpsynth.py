@@ -47,6 +47,7 @@ from repro.datasets.transactions import TransactionDatabase
 from repro.dp.laplace import laplace_noise
 from repro.dp.rng import RngLike, ensure_rng
 from repro.errors import ValidationError
+from repro.fim.counting import database_of
 
 #: Default taxonomy fanout (Chen et al. evaluate f ∈ {2, …, 16}).
 DEFAULT_FANOUT = 8
@@ -100,8 +101,15 @@ def dpsynth_release(
     threshold_factor: float = DEFAULT_THRESHOLD_FACTOR,
     max_partitions: int = 200_000,
     rng: RngLike = None,
+    backend=None,
 ) -> TransactionDatabase:
     """Release a synthetic transaction database under ε-DP.
+
+    Accepts a :class:`repro.engine.CountingBackend` in the
+    ``database`` slot (or via ``backend``) for interface symmetry with
+    the other methods; the partitioning pass reads whole transactions,
+    which no counting primitive expresses, so it always streams the
+    unified database.
 
     Parameters
     ----------
@@ -133,6 +141,7 @@ def dpsynth_release(
         raise ValidationError(
             f"threshold_factor must be >= 0, got {threshold_factor}"
         )
+    database = database_of(backend if backend is not None else database)
     generator = ensure_rng(rng)
     num_items = database.num_items
     height = taxonomy_height(num_items, fanout)
@@ -197,6 +206,7 @@ def dpsynth_top_k(
     epsilon: float,
     fanout: int = DEFAULT_FANOUT,
     rng: RngLike = None,
+    backend=None,
 ):
     """Mine the top-k itemsets from a DiffPart synthetic release.
 
@@ -206,6 +216,7 @@ def dpsynth_top_k(
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
+    database = database_of(backend if backend is not None else database)
     synthetic = dpsynth_release(
         database, epsilon, fanout=fanout, rng=rng
     )

@@ -9,19 +9,22 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.result import NoisyItemset, PrivateFIMResult
-from repro.datasets.registry import cached_top_k
 from repro.datasets.transactions import TransactionDatabase
+from repro.engine.backend import CountingBackend, resolve_backend
 from repro.errors import ValidationError
 
 
 def exact_top_k(
-    database: TransactionDatabase, k: int
+    database: TransactionDatabase,
+    k: int,
+    backend: CountingBackend = None,
 ) -> PrivateFIMResult:
     """The exact top-k itemsets with exact frequencies (no privacy)."""
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
-    n = float(database.num_transactions) or 1.0
-    top = cached_top_k(database, k)
+    backend = resolve_backend(database, backend)
+    n = float(backend.num_transactions) or 1.0
+    top = backend.top_k(k)
     itemsets: List[NoisyItemset] = [
         NoisyItemset(
             itemset=itemset,

@@ -48,10 +48,10 @@ from repro.baselines.tf_analysis import (
     log_candidate_family_size,
 )
 from repro.core.result import NoisyItemset, PrivateFIMResult
-from repro.datasets.registry import cached_top_k
 from repro.datasets.transactions import TransactionDatabase
 from repro.dp.laplace import laplace_noise
 from repro.dp.rng import RngLike, ensure_rng
+from repro.engine.backend import CountingBackend, resolve_backend
 from repro.errors import ValidationError
 from repro.fim.fpgrowth import fpgrowth
 from repro.fim.itemsets import Itemset
@@ -70,6 +70,7 @@ def tf_method(
     variant: str = "laplace",
     explicit_cap: int = DEFAULT_EXPLICIT_CAP,
     rng: RngLike = None,
+    backend: CountingBackend = None,
 ) -> PrivateFIMResult:
     """Run the TF method; ε-DP in total (ε/2 per phase).
 
@@ -84,6 +85,10 @@ def tf_method(
     variant:
         ``"laplace"`` (noisy truncated frequencies) or ``"em"``
         (repeated exponential mechanism).
+    backend:
+        Counting engine for all data access (``f_k``, explicit
+        mining, phase-2 measurement); defaults to a
+        :class:`~repro.engine.bitmap.BitmapBackend`.
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
@@ -97,24 +102,26 @@ def tf_method(
         raise ValidationError(
             f"variant must be 'laplace' or 'em', got {variant!r}"
         )
+    backend = resolve_backend(database, backend)
+    database = backend.database
     generator = ensure_rng(rng)
-    n = database.num_transactions
+    n = backend.num_transactions
     if n == 0:
         raise ValidationError("database is empty")
 
-    universe_size = candidate_family_size(database.num_items, m)
+    universe_size = candidate_family_size(backend.num_items, m)
     gamma = gamma_threshold(
         k=k,
         epsilon=epsilon,
         num_transactions=n,
-        num_items=database.num_items,
+        num_items=backend.num_items,
         m=m,
         rho=rho,
     )
-    fk = _kth_candidate_frequency(database, k, m)
+    fk = _kth_candidate_frequency(backend, k, m)
     truncation = fk - gamma
 
-    explicit = _mine_explicit(database, m, truncation, explicit_cap)
+    explicit = _mine_explicit(backend, m, truncation, explicit_cap)
     implicit_value = max(truncation, 0.0)
     implicit_count = universe_size - len(explicit)
     if implicit_count < 0:
@@ -140,7 +147,7 @@ def tf_method(
     scale = 2.0 * k / (epsilon * n)
     itemsets: List[NoisyItemset] = []
     for itemset in selected:
-        true_frequency = database.support(itemset) / n
+        true_frequency = backend.conjunction_support(itemset) / n
         noisy_frequency = float(
             true_frequency + laplace_noise(scale, rng=generator)
         )
@@ -162,15 +169,15 @@ def tf_method(
 # Explicit candidate mining
 # ----------------------------------------------------------------------
 def _kth_candidate_frequency(
-    database: TransactionDatabase, k: int, m: int
+    backend: CountingBackend, k: int, m: int
 ) -> float:
     """``f_k`` — frequency of the k-th most frequent member of U."""
-    top = cached_top_k(database, k, max_length=m)
+    top = backend.top_k(k, max_length=m)
     if not top:
         return 0.0
     if len(top) < k:
-        return top[-1][1] / database.num_transactions
-    return top[k - 1][1] / database.num_transactions
+        return top[-1][1] / backend.num_transactions
+    return top[k - 1][1] / backend.num_transactions
 
 
 #: Memo for explicit mining: repeated trials at the same (dataset,
@@ -195,7 +202,7 @@ def clear_explicit_mining_cache() -> None:
 
 
 def _mine_explicit(
-    database: TransactionDatabase,
+    backend: CountingBackend,
     m: int,
     truncation: float,
     explicit_cap: int,
@@ -206,15 +213,18 @@ def _mine_explicit(
     until the *a-priori bound* ``Σ_{i≤m} C(|items ≥ floor|, i)`` on the
     mined set fits ``explicit_cap``.
     """
-    n = database.num_transactions
+    backend = resolve_backend(backend)
+    database = backend.database
+    n = backend.num_transactions
     floor = max(1, int(math.ceil(truncation * n - 1e-9)))
-    supports = database.item_supports()
+    supports = backend.item_supports()
     floor = _raise_floor_to_cap(supports, floor, m, explicit_cap)
     key = (id(database), floor, m)
     entry = _EXPLICIT_MINING_CACHE.get(key)
     if entry is not None and entry[0] is database:
         return entry[1]
-    mined = fpgrowth(database, min_support=floor, max_length=m)
+    mined = fpgrowth(database, min_support=floor, max_length=m,
+                     backend=backend)
     if len(_EXPLICIT_MINING_CACHE) >= _EXPLICIT_MINING_CACHE_LIMIT:
         _EXPLICIT_MINING_CACHE.clear()
     _EXPLICIT_MINING_CACHE[key] = (database, mined)

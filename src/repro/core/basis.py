@@ -13,12 +13,10 @@ from typing import Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.datasets.transactions import TransactionDatabase, canonical_itemset
 from repro.errors import ValidationError
+from repro.fim.counting import DEFAULT_MAX_BASIS_LENGTH
 from repro.fim.itemsets import Itemset, all_nonempty_subsets
 
-#: The paper limits basis length to about a dozen: bin storage and the
-#: reconstruction transform are exponential in basis length (ℓ ≤ 12 ⇒
-#: at most 4096 bins per basis).
-DEFAULT_MAX_BASIS_LENGTH = 12
+__all__ = ["DEFAULT_MAX_BASIS_LENGTH", "BasisSet", "single_basis"]
 
 
 class BasisSet:

@@ -29,8 +29,9 @@ from repro.datasets.transactions import TransactionDatabase
 from repro.dp.geometric import geometric_alpha, geometric_noise
 from repro.dp.laplace import laplace_noise
 from repro.dp.rng import RngLike, ensure_rng
+from repro.engine.backend import CountingBackend, resolve_backend
 from repro.errors import ValidationError
-from repro.fim.counting import bin_counts_for_items, superset_sum_transform
+from repro.fim.counting import superset_sum_transform
 from repro.fim.itemsets import Itemset, mask_to_itemset
 
 #: Bin-noise mechanisms supported by :func:`noisy_bin_counts`.
@@ -43,11 +44,16 @@ def noisy_bin_counts(
     epsilon: float,
     rng: RngLike = None,
     noise: str = "laplace",
+    backend: CountingBackend = None,
 ) -> List[np.ndarray]:
     """The ε-DP noisy bin histograms, one array of 2^|B_i| per basis.
 
     This is the *only* data access of BasisFreq (Algorithm 1 lines
-    2–11); everything downstream is post-processing.
+    2–11); everything downstream is post-processing.  The exact bins
+    come from ``backend`` (default
+    :class:`~repro.engine.bitmap.BitmapBackend`); any correct backend
+    yields identical exact bins, so the DP guarantee is
+    backend-independent.
 
     ``noise`` selects the mechanism: ``"laplace"`` (the paper's) or
     ``"geometric"`` (discrete, integer outputs; extension — see
@@ -61,13 +67,14 @@ def noisy_bin_counts(
         raise ValidationError(
             f"noise must be one of {NOISE_KINDS}, got {noise!r}"
         )
+    backend = resolve_backend(database, backend)
     generator = ensure_rng(rng)
     width = basis_set.width
     noisy: List[np.ndarray] = []
     if noise == "laplace":
         scale = width / epsilon
         for basis in basis_set:
-            exact = bin_counts_for_items(database, basis).astype(float)
+            exact = backend.bin_counts(basis).astype(float)
             noisy.append(
                 exact + laplace_noise(scale, size=exact.shape,
                                       rng=generator)
@@ -75,7 +82,7 @@ def noisy_bin_counts(
     else:
         alpha = geometric_alpha(width, epsilon)
         for basis in basis_set:
-            exact = bin_counts_for_items(database, basis)
+            exact = backend.bin_counts(basis)
             drawn = geometric_noise(alpha, size=exact.shape,
                                     rng=generator)
             noisy.append((exact + drawn).astype(float))
@@ -146,19 +153,21 @@ def basis_freq(
     rng: RngLike = None,
     method: str = "privbasis",
     noise: str = "laplace",
+    backend: CountingBackend = None,
 ) -> PrivateFIMResult:
     """Paper Algorithm 1: release the top-k itemsets of ``C(B)``.
 
     Satisfies ε-differential privacy (paper Theorem 1).  Returns fewer
     than ``k`` itemsets only when the candidate set is smaller than
-    ``k``.  ``noise`` selects the bin mechanism (see
-    :func:`noisy_bin_counts`).
+    ``k``.  ``noise`` selects the bin mechanism and ``backend`` the
+    counting engine (see :func:`noisy_bin_counts`).
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
+    backend = resolve_backend(database, backend)
     generator = ensure_rng(rng)
     bins = noisy_bin_counts(
-        database, basis_set, epsilon, generator, noise=noise
+        backend, basis_set, epsilon, generator, noise=noise
     )
     estimates = itemset_estimates_from_bins(
         basis_set, bins, epsilon, noise=noise
@@ -168,7 +177,7 @@ def basis_freq(
         key=lambda entry: (-entry[1][0], entry[0]),
     )
     top = ranked[:k]
-    n = float(database.num_transactions) or 1.0
+    n = float(backend.num_transactions) or 1.0
     itemsets = [
         NoisyItemset(
             itemset=itemset,

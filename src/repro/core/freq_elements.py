@@ -23,8 +23,8 @@ import numpy as np
 from repro.datasets.transactions import TransactionDatabase
 from repro.dp.exponential import exponential_mechanism_top_k
 from repro.dp.rng import RngLike, ensure_rng
+from repro.engine.backend import CountingBackend, resolve_backend
 from repro.errors import ValidationError
-from repro.fim.counting import ItemBitmaps
 from repro.fim.itemsets import Itemset, canonical_itemset
 
 
@@ -58,18 +58,22 @@ def get_frequent_items(
     how_many: int,
     epsilon: float,
     rng: RngLike = None,
+    backend: CountingBackend = None,
 ) -> List[int]:
     """Step 2: privately select the ``how_many`` most frequent items.
 
     The candidate pool is the whole public vocabulary ``I``.  Returns
-    item ids sorted by selection order (most confident first).
+    item ids sorted by selection order (most confident first).  Item
+    supports are counted through ``backend`` (default
+    :class:`~repro.engine.bitmap.BitmapBackend`).
     """
-    if how_many > database.num_items:
+    backend = resolve_backend(database, backend)
+    if how_many > backend.num_items:
         raise ValidationError(
             f"cannot select {how_many} items from a vocabulary of "
-            f"{database.num_items}"
+            f"{backend.num_items}"
         )
-    counts = database.item_supports().astype(float)
+    counts = backend.item_supports().astype(float)
     indices = select_top_by_count(counts, how_many, epsilon, rng)
     return [int(index) for index in indices]
 
@@ -80,21 +84,24 @@ def get_frequent_pairs(
     how_many: int,
     epsilon: float,
     rng: RngLike = None,
+    backend: CountingBackend = None,
 ) -> List[Itemset]:
     """Step 3: privately select frequent pairs among ``items``.
 
     The candidate pool ``U`` is all (λ choose 2) pairs of the selected
     frequent items — small, which is the point of Step 2 (paper
-    Section 4.4).  Pair supports are counted exactly once (bitmap
-    sweep); the counts then feed the exponential mechanism.
+    Section 4.4).  Pair supports are counted exactly once through the
+    backend (one bitmap sweep in the default backend, a merged
+    per-shard sweep in :class:`~repro.engine.sharded.ShardedBackend`);
+    the counts then feed the exponential mechanism.
     """
     pool = canonical_itemset(items)
     if len(pool) < 2:
         raise ValidationError(
             f"need at least 2 items to form pairs, got {len(pool)}"
         )
-    bitmaps = ItemBitmaps(database, pool)
-    support_by_pair = bitmaps.pairwise_supports()
+    backend = resolve_backend(database, backend)
+    support_by_pair = backend.pairwise_supports(pool)
     pairs = sorted(support_by_pair)
     counts = np.array(
         [support_by_pair[pair] for pair in pairs], dtype=float

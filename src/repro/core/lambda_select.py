@@ -25,10 +25,10 @@ import math
 
 import numpy as np
 
-from repro.datasets.registry import cached_top_k
 from repro.datasets.transactions import TransactionDatabase
 from repro.dp.exponential import exponential_mechanism
 from repro.dp.rng import RngLike, ensure_rng
+from repro.engine.backend import CountingBackend, resolve_backend
 from repro.errors import ValidationError
 
 
@@ -38,10 +38,14 @@ def get_lambda(
     epsilon: float,
     eta: float = 1.1,
     rng: RngLike = None,
+    backend: CountingBackend = None,
 ) -> int:
     """Sample λ via the exponential mechanism (ε-DP).
 
     Returns a rank in ``[1, number of items with positive support]``.
+    All data access (item frequencies and the θ oracle) goes through
+    ``backend``, defaulting to a
+    :class:`~repro.engine.bitmap.BitmapBackend` over ``database``.
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
@@ -49,13 +53,14 @@ def get_lambda(
         raise ValidationError(f"epsilon must be positive, got {epsilon}")
     if eta < 1.0:
         raise ValidationError(f"eta must be >= 1, got {eta}")
+    backend = resolve_backend(database, backend)
     generator = ensure_rng(rng)
-    n = database.num_transactions
+    n = backend.num_transactions
     if n == 0:
         raise ValidationError("database is empty")
 
-    theta = _kth_itemset_frequency(database, int(math.ceil(k * eta)))
-    frequencies = np.sort(database.item_frequencies())[::-1]
+    theta = _kth_itemset_frequency(backend, int(math.ceil(k * eta)))
+    frequencies = np.sort(backend.item_frequencies())[::-1]
     # Restrict to ranks of items that actually occur: trailing
     # zero-frequency ranks all share one quality value and would only
     # dilute the selection (they are never the right λ).
@@ -76,16 +81,17 @@ def get_lambda(
 
 
 def _kth_itemset_frequency(
-    database: TransactionDatabase, k_inflated: int
+    backend: CountingBackend, k_inflated: int
 ) -> float:
     """θ = frequency of the (k·η)-th most frequent itemset.
 
-    Computed exactly; its data-dependence is accounted for inside the
-    exponential mechanism's sensitivity-1 quality function.
+    Computed exactly via the backend's (memoized) top-k oracle; its
+    data-dependence is accounted for inside the exponential
+    mechanism's sensitivity-1 quality function.
     """
-    top = cached_top_k(database, k_inflated)
+    top = backend.top_k(k_inflated)
     if not top:
         return 0.0
     if len(top) < k_inflated:
-        return top[-1][1] / database.num_transactions
-    return top[k_inflated - 1][1] / database.num_transactions
+        return top[-1][1] / backend.num_transactions
+    return top[k_inflated - 1][1] / backend.num_transactions

@@ -34,6 +34,7 @@ from repro.core.result import PrivBasisResult
 from repro.datasets.transactions import TransactionDatabase
 from repro.dp.budget import PrivacyBudget
 from repro.dp.rng import RngLike, ensure_rng
+from repro.engine.backend import CountingBackend, resolve_backend
 from repro.errors import ValidationError
 
 #: Budget fractions (α₁, α₂, α₃) — the paper's untuned default.
@@ -64,6 +65,7 @@ def privbasis(
     greedy_basis_optimization: bool = True,
     noise: str = "laplace",
     rng: RngLike = None,
+    backend: CountingBackend = None,
 ) -> PrivBasisResult:
     """Release the top-``k`` frequent itemsets under ε-DP.
 
@@ -71,6 +73,8 @@ def privbasis(
     ----------
     database:
         The transaction database (vocabulary is treated as public).
+        A :class:`~repro.engine.backend.CountingBackend` is also
+        accepted here directly.
     k:
         Number of itemsets to publish.
     epsilon:
@@ -93,6 +97,12 @@ def privbasis(
         ``"geometric"`` (discrete analogue; extension).
     rng:
         Seed or generator for all randomness.
+    backend:
+        Counting engine all data access routes through; defaults to a
+        fresh :class:`~repro.engine.bitmap.BitmapBackend` over
+        ``database``.  Pass a warm backend (or use
+        :class:`~repro.engine.session.PrivBasisSession`) to reuse
+        exact intermediates across repeated releases.
 
     Returns
     -------
@@ -110,19 +120,22 @@ def privbasis(
         )
     if eta is None:
         eta = default_eta(k)
+    backend = resolve_backend(database, backend)
     generator = ensure_rng(rng)
     budget = PrivacyBudget(epsilon)
     alpha1_eps, alpha2_eps, alpha3_eps = budget.split(alphas)
 
     # Step 1: λ.
-    lam = get_lambda(database, k, alpha1_eps, eta=eta, rng=generator)
+    lam = get_lambda(
+        backend, k, alpha1_eps, eta=eta, rng=generator
+    )
     budget.spend(alpha1_eps, "get_lambda")
-    lam = min(lam, database.num_items)
+    lam = min(lam, backend.num_items)
 
     if lam <= single_basis_lambda:
         # Steps 2 + 4 (degenerate): single basis of the λ top items.
         frequent_items = get_frequent_items(
-            database, lam, alpha2_eps, rng=generator
+            backend, lam, alpha2_eps, rng=generator
         )
         budget.spend(alpha2_eps, "get_frequent_items")
         basis_set = single_basis(frequent_items)
@@ -137,12 +150,12 @@ def privbasis(
         else:
             beta1_eps, beta2_eps = alpha2_eps, 0.0
         frequent_items = get_frequent_items(
-            database, lam, beta1_eps, rng=generator
+            backend, lam, beta1_eps, rng=generator
         )
         budget.spend(beta1_eps, "get_frequent_items")
         if lam2 >= 1:
             pairs = get_frequent_pairs(
-                database, frequent_items, lam2, beta2_eps, rng=generator
+                backend, frequent_items, lam2, beta2_eps, rng=generator
             )
             budget.spend(beta2_eps, "get_frequent_pairs")
         else:
@@ -158,7 +171,7 @@ def privbasis(
 
     # Step 5: noisy counts over C(B), top-k selection.
     release = basis_freq(
-        database, basis_set, k, alpha3_eps, rng=generator, noise=noise
+        backend, basis_set, k, alpha3_eps, rng=generator, noise=noise
     )
     budget.spend(alpha3_eps, "basis_freq")
     budget.assert_within_budget()

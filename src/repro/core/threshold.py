@@ -34,8 +34,8 @@ from repro.core.result import PrivBasisResult
 from repro.datasets.transactions import TransactionDatabase
 from repro.dp.exponential import exponential_mechanism
 from repro.dp.rng import RngLike, ensure_rng
+from repro.engine.backend import CountingBackend, resolve_backend
 from repro.errors import ValidationError
-from repro.fim.topk import top_k_itemsets
 
 #: Fraction of ε spent on selecting k (the rest goes to PrivBasis).
 DEFAULT_K_FRACTION = 0.1
@@ -51,6 +51,7 @@ def select_k_for_threshold(
     epsilon: float,
     max_k: int = DEFAULT_MAX_K,
     rng: RngLike = None,
+    backend: CountingBackend = None,
 ) -> int:
     """Privately select k with f_k closest to θ (exponential mechanism).
 
@@ -64,14 +65,15 @@ def select_k_for_threshold(
         raise ValidationError(f"epsilon must be positive, got {epsilon}")
     if max_k < 1:
         raise ValidationError(f"max_k must be >= 1, got {max_k}")
+    backend = resolve_backend(database, backend)
     generator = ensure_rng(rng)
-    n = database.num_transactions
+    n = backend.num_transactions
     if n == 0:
         raise ValidationError("database is empty")
 
     # Frequencies of the top max_k itemsets, padded with 0 when the
     # database has fewer than max_k itemsets above zero support.
-    top = top_k_itemsets(database, max_k)
+    top = backend.top_k(max_k)
     frequencies = [count / n for _, count in top]
     frequencies += [0.0] * (max_k - len(frequencies))
 
@@ -93,6 +95,7 @@ def privbasis_threshold(
     alphas: Tuple[float, float, float] = DEFAULT_ALPHAS,
     drop_below_threshold: bool = True,
     rng: RngLike = None,
+    backend: CountingBackend = None,
     **privbasis_kwargs,
 ) -> PrivBasisResult:
     """Release (approximately) all θ-frequent itemsets under ε-DP.
@@ -122,15 +125,16 @@ def privbasis_threshold(
         raise ValidationError(
             f"k_fraction must be in (0, 1), got {k_fraction}"
         )
+    backend = resolve_backend(database, backend)
     generator = ensure_rng(rng)
     k_epsilon = k_fraction * epsilon
     mining_epsilon = epsilon - k_epsilon
 
     k = select_k_for_threshold(
-        database, theta, k_epsilon, max_k=max_k, rng=generator
+        backend, theta, k_epsilon, max_k=max_k, rng=generator
     )
     release = privbasis(
-        database,
+        backend,
         k=k,
         epsilon=mining_epsilon,
         alphas=alphas,

@@ -17,6 +17,7 @@ moves, which EXPERIMENTS.md accounts for.
 from __future__ import annotations
 
 import os
+import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.datasets.generators import (
@@ -40,7 +41,20 @@ _GENERATORS: Dict[str, Tuple[Callable[..., TransactionDatabase], float]] = {
 }
 
 _DATABASE_CACHE: Dict[Tuple[str, float, int], TransactionDatabase] = {}
-_TOPK_CACHE: Dict[Tuple[int, int, Optional[int]], TopKResult] = {}
+#: Top-k memo: key includes ``id(database)``, so each entry also holds
+#: a weak reference to the database it was mined from — ids are reused
+#: after garbage collection, and a stale hit would silently return
+#: another database's itemsets.  The weakref validates the key without
+#: pinning transient databases alive.
+_TOPK_CACHE: Dict[
+    Tuple[int, int, Optional[int]],
+    Tuple["weakref.ref[TransactionDatabase]", TopKResult],
+] = {}
+
+#: Entry bound; beyond it the memo is dropped wholesale (real
+#: workloads touch a handful of (database, k) combinations, so
+#: eviction policy does not matter — boundedness does).
+_TOPK_CACHE_LIMIT = 256
 
 
 def dataset_names() -> List[str]:
@@ -102,16 +116,22 @@ def cached_top_k(
 ) -> TopKResult:
     """Exact top-k with memoization keyed on database identity.
 
-    Ground truth is needed repeatedly (once per trial per metric); the
-    cache keys on ``id(database)`` which is stable because the registry
-    also caches the databases themselves.
+    Ground truth is needed repeatedly (once per trial per metric).
+    The cache keys on ``id(database)`` and each entry weakly
+    references its database: a hit counts only if the entry's
+    database is *the same object*, guarding against id reuse after
+    garbage collection (transient databases would otherwise be served
+    another dataset's itemsets).
     """
     key = (id(database), int(k), max_length)
-    cached = _TOPK_CACHE.get(key)
-    if cached is None:
-        cached = top_k_itemsets(database, k, max_length=max_length)
-        _TOPK_CACHE[key] = cached
-    return cached
+    entry = _TOPK_CACHE.get(key)
+    if entry is not None and entry[0]() is database:
+        return entry[1]
+    result = top_k_itemsets(database, k, max_length=max_length)
+    if len(_TOPK_CACHE) >= _TOPK_CACHE_LIMIT:
+        _TOPK_CACHE.clear()
+    _TOPK_CACHE[key] = (weakref.ref(database), result)
+    return result
 
 
 def clear_caches() -> None:

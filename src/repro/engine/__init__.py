@@ -1,0 +1,49 @@
+"""The counting-backend engine and the cached serving session.
+
+This package is the data-access seam of the library.  Layering:
+
+1. :mod:`repro.engine.backend` — the :class:`CountingBackend`
+   protocol: item supports, pairwise supports, conjunction support,
+   and the ``2^ℓ`` bin histogram of paper Algorithm 1.  Every
+   mechanism in :mod:`repro.core` and every baseline counts through a
+   backend, which keeps the DP accounting auditable (one inspectable
+   surface) and the physical counting strategy swappable.
+2. Concrete backends — :class:`BitmapBackend` (default, single
+   process, pooled packed bitmaps), :class:`ShardedBackend` (parallel
+   fixed-size shards with bounded per-shard memory), and
+   :class:`NaiveBackend` (pure-Python oracle for the equivalence
+   tests).
+3. :class:`CachedBackend` — memoizes every exact query result.
+4. :class:`PrivBasisSession` — one database + one cached backend
+   serving repeated ``release(k, epsilon)`` calls; the repeated-query
+   serving layer the ROADMAP's production north-star asks for.
+
+Choosing a backend: :class:`BitmapBackend` for anything that fits one
+core comfortably; :class:`ShardedBackend` when ``N`` reaches millions
+and sweeps dominate latency; always a :class:`PrivBasisSession` when
+more than one release will hit the same database.
+"""
+
+from repro.engine.backend import (
+    CountingBackend,
+    as_backend,
+    resolve_backend,
+)
+from repro.engine.bitmap import BitmapBackend
+from repro.engine.cache import CachedBackend
+from repro.engine.naive import NaiveBackend
+from repro.engine.sharded import DEFAULT_SHARD_SIZE, ShardedBackend
+from repro.engine.session import PrivBasisSession, ReleaseRequest
+
+__all__ = [
+    "BitmapBackend",
+    "CachedBackend",
+    "CountingBackend",
+    "DEFAULT_SHARD_SIZE",
+    "NaiveBackend",
+    "PrivBasisSession",
+    "ReleaseRequest",
+    "ShardedBackend",
+    "as_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,189 @@
+"""The counting-backend protocol — the one data-access seam.
+
+Every data access in PrivBasis funnels through four counting
+primitives: single-item supports, pairwise supports over a small pool,
+conjunction (itemset) support, and the ``2^ℓ`` bin histogram of paper
+Algorithm 1.  :class:`CountingBackend` names those primitives as an
+abstract interface so that the physical counting strategy — one
+in-process bitmap scan, a sharded parallel scan, a remote store — can
+vary without touching the algorithm layer, and so that the DP
+accounting stays auditable: the mechanisms in :mod:`repro.core` only
+ever see counts that came through this surface.
+
+Implementations in this package:
+
+* :class:`repro.engine.bitmap.BitmapBackend` — the default; wraps the
+  packed-bitmap / tid-list kernels of :mod:`repro.fim.counting`.
+* :class:`repro.engine.sharded.ShardedBackend` — partitions the
+  transactions into fixed-size shards and counts them in parallel with
+  bounded per-shard memory.
+* :class:`repro.engine.naive.NaiveBackend` — a pure-Python oracle used
+  by the equivalence test-suite.
+* :class:`repro.engine.cache.CachedBackend` — a memoizing wrapper used
+  by :class:`repro.engine.session.PrivBasisSession`.
+
+Backend selection guidance: stay with :class:`BitmapBackend` unless
+the database is large enough (millions of transactions) that a single
+bin/bitmap sweep dominates latency — then
+:class:`~repro.engine.sharded.ShardedBackend` trades a little merge
+overhead for parallel sweeps and bounded memory.  For repeated
+releases over one database, wrap either in a
+:class:`~repro.engine.session.PrivBasisSession`, which adds the
+memoization layer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import ValidationError
+
+__all__ = ["CountingBackend", "as_backend", "resolve_backend"]
+
+
+class CountingBackend(abc.ABC):
+    """Abstract counting primitives over one transaction database.
+
+    All exact (non-private) data access used by PrivBasis and the
+    baselines is expressible in these four queries; concrete backends
+    decide *how* they are answered.  Implementations must return exact
+    counts — noise is always added downstream by the DP mechanisms, so
+    two correct backends are interchangeable bit-for-bit.
+    """
+
+    # -- identity ------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def database(self) -> TransactionDatabase:
+        """The underlying (immutable) transaction database."""
+
+    @property
+    def num_transactions(self) -> int:
+        """``N``, the number of transactions."""
+        return self.database.num_transactions
+
+    @property
+    def num_items(self) -> int:
+        """``|I|``, the vocabulary size."""
+        return self.database.num_items
+
+    # -- the four counting primitives ----------------------------------
+    @abc.abstractmethod
+    def item_supports(self) -> np.ndarray:
+        """Support count of every single item, shape ``(num_items,)``."""
+
+    @abc.abstractmethod
+    def pairwise_supports(
+        self, items: Sequence[int]
+    ) -> Dict[Tuple[int, int], int]:
+        """Support of every unordered pair drawn from ``items``.
+
+        Returns a dict keyed by sorted item pairs, covering all
+        ``(|items| choose 2)`` pairs.
+        """
+
+    @abc.abstractmethod
+    def conjunction_support(self, items: Iterable[int]) -> int:
+        """Support count of the conjunction (itemset) ``items``."""
+
+    @abc.abstractmethod
+    def bin_counts(self, basis: Sequence[int]) -> np.ndarray:
+        """Exact bin histogram for ``basis`` (paper Algorithm 1).
+
+        ``counts[mask]`` is the number of transactions ``t`` with
+        ``t ∩ basis`` equal to the subset encoded by ``mask`` (bit
+        ``j`` ↔ ``basis[j]``); ``counts.sum() == N``.
+        """
+
+    # -- derived conveniences ------------------------------------------
+    def item_frequencies(self) -> np.ndarray:
+        """Frequency (support / N) of every single item."""
+        n = self.num_transactions
+        if n == 0:
+            return np.zeros(self.num_items, dtype=float)
+        return self.item_supports() / float(n)
+
+    def frequency(self, items: Iterable[int]) -> float:
+        """Frequency ``f(X) = support(X) / N``."""
+        n = self.num_transactions
+        if n == 0:
+            return 0.0
+        return self.conjunction_support(items) / float(n)
+
+    def supports(self, itemsets: Sequence[Iterable[int]]) -> List[int]:
+        """Support counts for many itemsets (convenience wrapper)."""
+        return [self.conjunction_support(itemset) for itemset in itemsets]
+
+    def top_k(self, k: int, max_length: Optional[int] = None):
+        """Exact (non-private) top-``k`` itemsets with supports.
+
+        The lattice search is inherently global, so the default routes
+        to the memoized oracle over the full database
+        (:func:`repro.datasets.registry.cached_top_k`); backends that
+        cannot do better should leave this alone.
+        :class:`~repro.engine.cache.CachedBackend` adds a per-session
+        memo on top.
+        """
+        from repro.datasets.registry import cached_top_k
+
+        return cached_top_k(self.database, k, max_length=max_length)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.database!r})"
+
+
+def as_backend(source) -> CountingBackend:
+    """Coerce ``source`` into a :class:`CountingBackend`.
+
+    A backend passes through unchanged; a
+    :class:`TransactionDatabase` is wrapped in the default
+    :class:`~repro.engine.bitmap.BitmapBackend`.
+    """
+    if isinstance(source, CountingBackend):
+        return source
+    if isinstance(source, TransactionDatabase):
+        from repro.engine.bitmap import BitmapBackend
+
+        return BitmapBackend(source)
+    raise ValidationError(
+        f"expected a TransactionDatabase or CountingBackend, "
+        f"got {type(source).__name__}"
+    )
+
+
+def resolve_backend(
+    data, backend: Optional[CountingBackend] = None
+) -> CountingBackend:
+    """Resolve the ``(database, backend=None)`` calling convention.
+
+    The algorithm entry points accept a database positionally plus an
+    optional ``backend`` keyword (and, for convenience, a backend in
+    the positional slot).  Resolution rules:
+
+    * explicit ``backend`` wins, but must wrap the same database as
+      ``data`` when ``data`` is a database (guards against silently
+      counting a different dataset);
+    * a backend passed positionally is used as-is;
+    * a bare database gets the default
+      :class:`~repro.engine.bitmap.BitmapBackend`.
+    """
+    if backend is not None:
+        if not isinstance(backend, CountingBackend):
+            raise ValidationError(
+                f"backend must be a CountingBackend, "
+                f"got {type(backend).__name__}"
+            )
+        if (
+            isinstance(data, TransactionDatabase)
+            and backend.database is not data
+        ):
+            raise ValidationError(
+                "backend wraps a different database than the one passed "
+                "positionally"
+            )
+        return backend
+    return as_backend(data)

@@ -1,0 +1,106 @@
+"""The default in-process backend over the packed-bitmap kernels.
+
+:class:`BitmapBackend` answers the four counting primitives with the
+same kernels the library has always used — the CSR tid-list index of
+:class:`~repro.datasets.transactions.TransactionDatabase`, the packed
+:class:`~repro.fim.counting.ItemBitmaps` sweeps, and the scatter-add
+bin kernel — but *pools* the expensive intermediates so repeated
+queries reuse them:
+
+* the item-support vector is computed once;
+* bitmap pools are memoized keyed by their (frozen) item set, and a
+  conjunction query is answered from any pooled bitmap whose item set
+  covers it before falling back to tid-list intersection.
+
+The backend is exact and stateless from the caller's point of view
+(the database is immutable), so memoization never changes results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.transactions import (
+    TransactionDatabase,
+    canonical_itemset,
+)
+from repro.engine.backend import CountingBackend
+from repro.fim.counting import ItemBitmaps, bin_counts_for_items
+
+__all__ = ["BitmapBackend"]
+
+
+class BitmapBackend(CountingBackend):
+    """Single-process bitmap/tid-list counting (the library default).
+
+    Parameters
+    ----------
+    database:
+        The transactions to count over.
+    max_pools:
+        Cap on memoized bitmap pools (each pool is
+        ``|items| × N/8`` bytes); the oldest pool is evicted first.
+    """
+
+    def __init__(
+        self, database: TransactionDatabase, max_pools: int = 8
+    ) -> None:
+        self._database = database
+        self._max_pools = int(max_pools)
+        self._pools: Dict[FrozenSet[int], ItemBitmaps] = {}
+        self._item_supports: Optional[np.ndarray] = None
+        #: Number of ItemBitmaps pools built so far (cache telemetry;
+        #: the session tests assert warm releases do not grow this).
+        self.pools_built = 0
+
+    @property
+    def database(self) -> TransactionDatabase:
+        return self._database
+
+    # -- bitmap pooling -------------------------------------------------
+    def bitmaps(self, items: Sequence[int]) -> ItemBitmaps:
+        """A (memoized) packed bitmap pool over exactly ``items``."""
+        key = frozenset(int(item) for item in items)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = ItemBitmaps(self._database, sorted(key))
+            self.pools_built += 1
+            if self._max_pools and len(self._pools) >= self._max_pools:
+                oldest = next(iter(self._pools))
+                del self._pools[oldest]
+            self._pools[key] = pool
+        return pool
+
+    def _covering_pool(
+        self, items: FrozenSet[int]
+    ) -> Optional[ItemBitmaps]:
+        """Any memoized pool whose item set covers ``items``."""
+        for key, pool in self._pools.items():
+            if items <= key:
+                return pool
+        return None
+
+    # -- the four primitives --------------------------------------------
+    def item_supports(self) -> np.ndarray:
+        if self._item_supports is None:
+            self._item_supports = self._database.item_supports()
+        return self._item_supports.copy()
+
+    def pairwise_supports(
+        self, items: Sequence[int]
+    ) -> Dict[Tuple[int, int], int]:
+        return self.bitmaps(items).pairwise_supports()
+
+    def conjunction_support(self, items: Iterable[int]) -> int:
+        itemset = canonical_itemset(items)
+        if not itemset:
+            return self._database.num_transactions
+        pool = self._covering_pool(frozenset(itemset))
+        if pool is not None:
+            return pool.support(itemset)
+        return self._database.support(itemset)
+
+    def bin_counts(self, basis: Sequence[int]) -> np.ndarray:
+        return bin_counts_for_items(self._database, basis)

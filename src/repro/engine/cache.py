@@ -1,0 +1,188 @@
+"""Memoizing backend wrapper — the cache behind a serving session.
+
+All four counting primitives (plus the exact top-k oracle) are pure
+functions of the immutable database, so their results can be memoized
+indefinitely.  :class:`CachedBackend` wraps any inner
+:class:`~repro.engine.backend.CountingBackend` and keeps:
+
+* the item-support vector (built once);
+* pairwise-support dicts keyed by the (frozen) item pool;
+* conjunction supports keyed by the canonical itemset;
+* bin histograms keyed by the basis tuple — the big win: a repeated
+  release that lands on a basis already counted skips the full data
+  scan of Algorithm 1 entirely;
+* top-k mining results keyed by ``(k, max_length)``.
+
+Only *exact* (non-private) quantities are ever cached.  Noise is drawn
+downstream per release, so cache reuse never reuses randomness and the
+DP guarantees of each release are unaffected; what is affected is the
+privacy *budget* bookkeeping across releases, which is the session's
+job (see :class:`repro.engine.session.PrivBasisSession`).
+
+Every cache is size-capped (oldest entry evicted first) so a
+long-lived serving session holds bounded memory: bin histograms are
+up to ``2^ℓ`` int64 each and would otherwise accumulate one array per
+distinct basis ever released.
+
+Per-kind hit/miss counters are exposed via :meth:`cache_info` so tests
+and dashboards can verify reuse is actually happening.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.transactions import (
+    TransactionDatabase,
+    canonical_itemset,
+)
+from repro.engine.backend import CountingBackend
+
+__all__ = ["CachedBackend"]
+
+Itemset = Tuple[int, ...]
+
+#: Default per-cache entry caps.  Bins and top-k results are the large
+#: entries (2^ℓ int64 per basis, k tuples per mining result);
+#: conjunctions are scalars and can afford a much larger pool.
+DEFAULT_CACHE_LIMITS = {
+    "bin_counts": 64,
+    "pairwise_supports": 32,
+    "conjunction_support": 4096,
+    "top_k": 64,
+}
+
+
+def _evict_oldest(cache: Dict, limit: int) -> None:
+    """FIFO-evict until ``cache`` has room for one more entry."""
+    while len(cache) >= limit:
+        del cache[next(iter(cache))]
+
+
+class CachedBackend(CountingBackend):
+    """Wrap ``inner`` with per-query memoization and hit/miss stats.
+
+    ``cache_limits`` overrides entries of :data:`DEFAULT_CACHE_LIMITS`
+    (per-kind maximum memoized results; oldest evicted first).
+    """
+
+    def __init__(
+        self,
+        inner: CountingBackend,
+        cache_limits: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._inner = inner
+        self._limits = dict(DEFAULT_CACHE_LIMITS)
+        if cache_limits:
+            self._limits.update(cache_limits)
+        self._item_supports: Optional[np.ndarray] = None
+        self._pair_cache: Dict[
+            FrozenSet[int], Dict[Tuple[int, int], int]
+        ] = {}
+        self._conjunction_cache: Dict[Itemset, int] = {}
+        self._bin_cache: Dict[Itemset, np.ndarray] = {}
+        self._topk_cache: Dict[Tuple[int, Optional[int]], object] = {}
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+
+    @property
+    def inner(self) -> CountingBackend:
+        """The wrapped backend."""
+        return self._inner
+
+    @property
+    def database(self) -> TransactionDatabase:
+        return self._inner.database
+
+    # -- stats ----------------------------------------------------------
+    def _record(self, kind: str, hit: bool) -> None:
+        table = self._hits if hit else self._misses
+        table[kind] = table.get(kind, 0) + 1
+
+    def cache_info(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss counters per query kind (for tests/telemetry)."""
+        kinds = sorted(set(self._hits) | set(self._misses))
+        return {
+            kind: {
+                "hits": self._hits.get(kind, 0),
+                "misses": self._misses.get(kind, 0),
+            }
+            for kind in kinds
+        }
+
+    def clear(self) -> None:
+        """Drop every memoized result (counters are kept)."""
+        self._item_supports = None
+        self._pair_cache.clear()
+        self._conjunction_cache.clear()
+        self._bin_cache.clear()
+        self._topk_cache.clear()
+
+    # -- the memoized primitives ---------------------------------------
+    def item_supports(self) -> np.ndarray:
+        if self._item_supports is None:
+            self._record("item_supports", hit=False)
+            self._item_supports = self._inner.item_supports()
+        else:
+            self._record("item_supports", hit=True)
+        return self._item_supports.copy()
+
+    def pairwise_supports(
+        self, items: Sequence[int]
+    ) -> Dict[Tuple[int, int], int]:
+        key = frozenset(int(item) for item in items)
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            self._record("pairwise_supports", hit=False)
+            cached = self._inner.pairwise_supports(sorted(key))
+            _evict_oldest(
+                self._pair_cache, self._limits["pairwise_supports"]
+            )
+            self._pair_cache[key] = cached
+        else:
+            self._record("pairwise_supports", hit=True)
+        return dict(cached)
+
+    def conjunction_support(self, items: Iterable[int]) -> int:
+        key = canonical_itemset(items)
+        cached = self._conjunction_cache.get(key)
+        if cached is None:
+            self._record("conjunction_support", hit=False)
+            cached = self._inner.conjunction_support(key)
+            _evict_oldest(
+                self._conjunction_cache,
+                self._limits["conjunction_support"],
+            )
+            self._conjunction_cache[key] = cached
+        else:
+            self._record("conjunction_support", hit=True)
+        return cached
+
+    def bin_counts(self, basis: Sequence[int]) -> np.ndarray:
+        key = tuple(int(item) for item in basis)
+        cached = self._bin_cache.get(key)
+        if cached is None:
+            self._record("bin_counts", hit=False)
+            cached = self._inner.bin_counts(key)
+            _evict_oldest(self._bin_cache, self._limits["bin_counts"])
+            self._bin_cache[key] = cached
+        else:
+            self._record("bin_counts", hit=True)
+        return cached.copy()
+
+    def top_k(self, k: int, max_length: Optional[int] = None):
+        key = (int(k), max_length)
+        cached = self._topk_cache.get(key)
+        if cached is None:
+            self._record("top_k", hit=False)
+            cached = self._inner.top_k(k, max_length=max_length)
+            _evict_oldest(self._topk_cache, self._limits["top_k"])
+            self._topk_cache[key] = cached
+        else:
+            self._record("top_k", hit=True)
+        return list(cached)
+
+    def __repr__(self) -> str:
+        return f"CachedBackend({self._inner!r})"

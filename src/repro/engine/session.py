@@ -1,0 +1,197 @@
+"""Cached serving sessions: many releases over one database.
+
+A production deployment of PrivBasis answers *many* ``(k, ε)``
+release requests against the same database — different tenants,
+different budgets, retries.  Only the noise and the exponential-
+mechanism draws differ between releases; all dataset-derived state
+(item supports, bitmap pools, bin histograms, the exact top-k oracle
+behind GetLambda's θ) is reusable.  :class:`PrivBasisSession` owns one
+database + one :class:`~repro.engine.cache.CachedBackend` and exposes
+``release`` / ``release_batch``, so the first release pays the cold
+cost and subsequent releases run against warm caches.
+
+Privacy semantics: every release draws fresh randomness and is ε-DP on
+its own (caching only reuses exact, non-private intermediates).
+Releases over the same data still *compose* — the session keeps a
+cumulative ledger and, when ``epsilon_limit`` is set, refuses releases
+that would exceed it (sequential composition across the session's
+lifetime).  When no limit is set the ledger is informational, which
+matches the common deployment where an external budget service owns
+the global accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.engine.backend import CountingBackend, resolve_backend
+from repro.engine.cache import CachedBackend
+from repro.errors import BudgetExceededError, ValidationError
+
+__all__ = ["PrivBasisSession", "ReleaseRequest"]
+
+#: A release request for :meth:`PrivBasisSession.release_batch`: either
+#: a ``(k, epsilon)`` pair or a mapping of :meth:`release` keyword
+#: arguments (``{"k": 50, "epsilon": 1.0, "noise": "geometric"}``).
+ReleaseRequest = Union[Tuple[int, float], Mapping[str, object]]
+
+
+class PrivBasisSession:
+    """One database + one warm backend, serving repeated releases.
+
+    Parameters
+    ----------
+    database:
+        The transaction database (or a ready
+        :class:`~repro.engine.backend.CountingBackend` over it).
+    backend:
+        Optional explicit backend; defaults to
+        :class:`~repro.engine.bitmap.BitmapBackend`.  It is wrapped in
+        a :class:`~repro.engine.cache.CachedBackend` unless it already
+        is one.
+    epsilon_limit:
+        Optional cap on the *cumulative* ε spent by this session
+        (sequential composition across releases).  ``None`` means
+        unlimited (accounting is still recorded).
+    rng:
+        Session-level randomness; per-release ``rng`` overrides it.
+        All releases without an explicit seed draw from this one
+        stream, so a seeded session is reproducible end to end.
+    """
+
+    def __init__(
+        self,
+        database,
+        backend: Optional[CountingBackend] = None,
+        epsilon_limit: Optional[float] = None,
+        rng=None,
+    ) -> None:
+        from repro.dp.rng import ensure_rng
+
+        inner = resolve_backend(database, backend)
+        self._backend: CachedBackend = (
+            inner
+            if isinstance(inner, CachedBackend)
+            else CachedBackend(inner)
+        )
+        if epsilon_limit is not None and not (epsilon_limit > 0):
+            raise ValidationError(
+                f"epsilon_limit must be positive, got {epsilon_limit}"
+            )
+        self._epsilon_limit = epsilon_limit
+        self._epsilon_spent = 0.0
+        self._num_releases = 0
+        self._rng = ensure_rng(rng)
+
+    # -- introspection --------------------------------------------------
+    @property
+    def database(self) -> TransactionDatabase:
+        return self._backend.database
+
+    @property
+    def backend(self) -> CachedBackend:
+        """The memoizing backend all releases share."""
+        return self._backend
+
+    @property
+    def epsilon_spent(self) -> float:
+        """Cumulative ε consumed by this session's releases."""
+        return self._epsilon_spent
+
+    @property
+    def epsilon_limit(self) -> Optional[float]:
+        return self._epsilon_limit
+
+    @property
+    def num_releases(self) -> int:
+        return self._num_releases
+
+    def cache_info(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss counters of the shared cache (telemetry)."""
+        return self._backend.cache_info()
+
+    # -- serving --------------------------------------------------------
+    def _charge(self, epsilon: float) -> None:
+        if not (epsilon > 0):
+            raise ValidationError(
+                f"epsilon must be positive, got {epsilon}"
+            )
+        if self._epsilon_limit is not None:
+            remaining = self._epsilon_limit - self._epsilon_spent
+            if epsilon > remaining * (1 + 1e-9):
+                raise BudgetExceededError(epsilon, max(remaining, 0.0))
+
+    def release(self, k: int, epsilon: float, rng=None, **kwargs):
+        """One ε-DP top-``k`` release against the warm backend.
+
+        Accepts every keyword :func:`repro.core.privbasis.privbasis`
+        accepts (``eta``, ``alphas``, ``noise``, …) and returns its
+        :class:`~repro.core.result.PrivBasisResult`.  Fresh noise is
+        drawn per call; only exact intermediates are reused.
+        """
+        from repro.core.privbasis import privbasis
+
+        self._charge(epsilon)
+        result = privbasis(
+            self.database,
+            k=k,
+            epsilon=epsilon,
+            backend=self._backend,
+            rng=self._rng if rng is None else rng,
+            **kwargs,
+        )
+        self._epsilon_spent += epsilon
+        self._num_releases += 1
+        return result
+
+    def release_batch(self, requests: Iterable[ReleaseRequest]) -> List:
+        """Serve many releases in one call (multi-tenant batching).
+
+        Each request is a ``(k, epsilon)`` pair or a mapping of
+        :meth:`release` keywords.  The whole batch is charged against
+        ``epsilon_limit`` up front, so a batch either fits entirely or
+        fails before any noise is drawn (no partial batches to refund).
+        """
+        normalized: List[Mapping[str, object]] = []
+        for request in requests:
+            if isinstance(request, Mapping):
+                if "k" not in request or "epsilon" not in request:
+                    raise ValidationError(
+                        f"release request needs 'k' and 'epsilon': "
+                        f"{request!r}"
+                    )
+                normalized.append(dict(request))
+            else:
+                k, epsilon = request
+                normalized.append({"k": k, "epsilon": epsilon})
+        if not normalized:
+            return []
+        # Validate every request before charging or drawing noise, so
+        # the all-or-nothing promise holds: a bad epsilon or k in the
+        # middle of a batch must not leave earlier releases spent.
+        for request in normalized:
+            if not (float(request["epsilon"]) > 0):
+                raise ValidationError(
+                    f"epsilon must be positive, got "
+                    f"{request['epsilon']!r}"
+                )
+            if int(request["k"]) < 1:
+                raise ValidationError(
+                    f"k must be >= 1, got {request['k']!r}"
+                )
+        total = sum(float(request["epsilon"]) for request in normalized)
+        self._charge(total)
+        return [self.release(**request) for request in normalized]
+
+    def __repr__(self) -> str:
+        limit = (
+            f", epsilon_limit={self._epsilon_limit:g}"
+            if self._epsilon_limit is not None
+            else ""
+        )
+        return (
+            f"PrivBasisSession({self.database!r}, "
+            f"releases={self._num_releases}, "
+            f"epsilon_spent={self._epsilon_spent:g}{limit})"
+        )

@@ -2,8 +2,11 @@
 
 from repro.fim.apriori import apriori, frequent_itemsets_sorted
 from repro.fim.counting import (
+    DEFAULT_MAX_BASIS_LENGTH,
+    MAX_BIN_BASIS_LENGTH,
     ItemBitmaps,
     bin_counts_for_items,
+    database_of,
     naive_superset_sum,
     superset_sum_transform,
 )
@@ -31,15 +34,18 @@ from repro.fim.topk import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_BASIS_LENGTH",
     "FPNode",
     "FPTree",
     "ItemBitmaps",
+    "MAX_BIN_BASIS_LENGTH",
     "Itemset",
     "all_nonempty_subsets",
     "apriori",
     "apriori_join",
     "bin_counts_for_items",
     "canonical_itemset",
+    "database_of",
     "eclat",
     "exact_topk_itemset_set",
     "format_itemset",

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.datasets.transactions import TransactionDatabase
 from repro.errors import ValidationError
+from repro.fim.counting import database_of
 from repro.fim.itemsets import Itemset, apriori_join
 
 MiningResult = Dict[Itemset, int]
@@ -29,19 +30,27 @@ def apriori(
     database: TransactionDatabase,
     min_support: int,
     max_length: Optional[int] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine all itemsets with support count ≥ ``min_support``.
 
     Parameters
     ----------
     database:
-        The transaction database.
+        The transaction database, or a
+        :class:`repro.engine.CountingBackend` over one (the level-1
+        counts then route through the backend; deeper levels use the
+        unified tid-list index).
     min_support:
         Absolute support threshold (a count, not a fraction).  Must be
         at least 1 — a threshold of 0 would enumerate the powerset.
     max_length:
         If given, only itemsets with at most this many items are
         returned (the TF baseline's length-``m`` restriction).
+
+    backend:
+        Optional explicit counting backend; wins over a backend passed
+        in the ``database`` slot.
 
     Returns
     -------
@@ -57,8 +66,11 @@ def apriori(
             f"max_length must be >= 1, got {max_length}"
         )
 
+    source = backend if backend is not None else database
+    database = database_of(source)
+
     result: MiningResult = {}
-    supports = database.item_supports()
+    supports = source.item_supports()
     frequent_items = np.flatnonzero(supports >= min_support)
     level: List[Itemset] = []
     tidlists: Dict[Itemset, np.ndarray] = {}

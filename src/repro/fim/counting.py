@@ -22,6 +22,40 @@ import numpy as np
 from repro.datasets.transactions import TransactionDatabase
 from repro.errors import ValidationError
 
+#: Basis-length cap the paper recommends (Section 4.4): with ℓ ≤ 12 a
+#: basis has at most 2^12 = 4096 bins, keeping both bin storage and the
+#: reconstruction transform cheap.  Re-exported as
+#: ``repro.core.basis.DEFAULT_MAX_BASIS_LENGTH``.
+DEFAULT_MAX_BASIS_LENGTH = 12
+
+#: Hard cap enforced by :func:`bin_counts_for_items`: 2^25 int64 bins
+#: is 256 MiB, the most the scatter-add kernel will materialize.  The
+#: gap above :data:`DEFAULT_MAX_BASIS_LENGTH` exists for ablations that
+#: deliberately stress long bases (``bench_ablation_basis_length``).
+MAX_BIN_BASIS_LENGTH = 25
+
+
+def database_of(source) -> TransactionDatabase:
+    """Unwrap a :class:`TransactionDatabase` from ``source``.
+
+    ``source`` may be a database itself or any object exposing one via
+    a ``database`` attribute — in particular a
+    :class:`repro.engine.CountingBackend`.  The miners in this package
+    accept either, so callers holding a backend never have to reach
+    into it manually.  (This helper lives here rather than in
+    ``repro.engine`` because the engine layer imports the kernels in
+    this module; the reverse import would be a cycle.)
+    """
+    if isinstance(source, TransactionDatabase):
+        return source
+    inner = getattr(source, "database", None)
+    if isinstance(inner, TransactionDatabase):
+        return inner
+    raise ValidationError(
+        f"expected a TransactionDatabase or a counting backend, "
+        f"got {type(source).__name__}"
+    )
+
 
 class ItemBitmaps:
     """Packed boolean membership rows for a pool of items.
@@ -154,10 +188,12 @@ def bin_counts_for_items(
     if len(set(basis)) != len(basis):
         raise ValidationError(f"basis has duplicate items: {basis}")
     length = len(basis)
-    if length > 25:
+    if length > MAX_BIN_BASIS_LENGTH:
         raise ValidationError(
             f"basis of length {length} would need 2^{length} bins; "
-            f"the paper limits basis length to ~12"
+            f"the bin kernel caps basis length at "
+            f"{MAX_BIN_BASIS_LENGTH} (the paper's recommended cap is "
+            f"DEFAULT_MAX_BASIS_LENGTH = {DEFAULT_MAX_BASIS_LENGTH})"
         )
     masks = np.zeros(database.num_transactions, dtype=np.int64)
     for position, item in enumerate(basis):

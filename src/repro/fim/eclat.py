@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.datasets.transactions import TransactionDatabase
 from repro.errors import ValidationError
+from repro.fim.counting import database_of
 from repro.fim.itemsets import Itemset
 
 MiningResult = Dict[Itemset, int]
@@ -36,6 +37,7 @@ def eclat(
     database: TransactionDatabase,
     min_support: int,
     max_length: Optional[int] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine all itemsets with support count ≥ ``min_support``.
 
@@ -47,6 +49,10 @@ def eclat(
     max_length:
         If given, only itemsets with at most this many items are
         returned.
+    backend:
+        Optional :class:`repro.engine.CountingBackend`; the item
+        frequency filter then routes through it (a backend may also be
+        passed in the ``database`` slot).
 
     Returns
     -------
@@ -63,11 +69,15 @@ def eclat(
             f"max_length must be >= 1, got {max_length}"
         )
 
+    source = backend if backend is not None else database
+    database = database_of(source)
+
     result: MiningResult = {}
     if database.num_transactions == 0:
         return result
 
-    masks = _frequent_item_masks(database, min_support)
+    masks = _frequent_item_masks(database, min_support,
+                                 item_supports=source.item_supports())
     if not masks:
         return result
 
@@ -101,14 +111,20 @@ def eclat(
 
 
 def _frequent_item_masks(
-    database: TransactionDatabase, min_support: int
+    database: TransactionDatabase,
+    min_support: int,
+    item_supports: Optional[np.ndarray] = None,
 ) -> Dict[int, np.ndarray]:
     """Boolean transaction masks for every frequent single item.
 
     Built from the database's per-item inverted index (``tidlist``),
     so construction is linear in the index size.
     """
-    supports = database.item_supports()
+    supports = (
+        item_supports
+        if item_supports is not None
+        else database.item_supports()
+    )
     frequent = np.nonzero(supports >= min_support)[0]
     masks: Dict[int, np.ndarray] = {}
     for item in frequent:

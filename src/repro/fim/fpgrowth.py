@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.datasets.transactions import TransactionDatabase
 from repro.errors import ValidationError
+from repro.fim.counting import database_of
 from repro.fim.fptree import FPTree
 from repro.fim.itemsets import Itemset
 
@@ -25,10 +26,13 @@ def fpgrowth(
     database: TransactionDatabase,
     min_support: int,
     max_length: Optional[int] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine all itemsets with support ≥ ``min_support`` via FP-Growth.
 
-    Same contract as :func:`repro.fim.apriori.apriori`.
+    Same contract as :func:`repro.fim.apriori.apriori`, including the
+    optional counting ``backend`` (item frequencies route through it;
+    tree construction streams the unified database).
     """
     if min_support < 1:
         raise ValidationError(
@@ -39,7 +43,10 @@ def fpgrowth(
             f"max_length must be >= 1, got {max_length}"
         )
 
-    supports = database.item_supports()
+    source = backend if backend is not None else database
+    database = database_of(source)
+
+    supports = source.item_supports()
     frequent_items = [
         int(item) for item in np.flatnonzero(supports >= min_support)
     ]

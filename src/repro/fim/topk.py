@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.datasets.transactions import TransactionDatabase
 from repro.errors import ValidationError
-from repro.fim.counting import ItemBitmaps
+from repro.fim.counting import ItemBitmaps, database_of
 from repro.fim.itemsets import Itemset
 
 TopKResult = List[Tuple[Itemset, int]]
@@ -37,6 +37,7 @@ def top_k_itemsets(
     database: TransactionDatabase,
     k: int,
     max_length: Optional[int] = None,
+    backend=None,
 ) -> TopKResult:
     """Return the ``k`` most frequent itemsets with their supports.
 
@@ -51,19 +52,26 @@ def top_k_itemsets(
     max_length:
         If given, restrict to itemsets of at most this many items (the
         TF baseline's candidate family, paper Section 3).
+    backend:
+        Optional :class:`repro.engine.CountingBackend` (also accepted
+        in the ``database`` slot); singleton supports route through
+        it, the lattice search uses the unified bitmap kernels.
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
     if max_length is not None and max_length < 1:
         raise ValidationError(f"max_length must be >= 1, got {max_length}")
 
-    universe = _pruned_universe(database, k)
+    source = backend if backend is not None else database
+    database = database_of(source)
+
+    universe = _pruned_universe(source, k)
     if not universe:
         return []
     bitmaps = ItemBitmaps(database, universe)
     position_of = {item: index for index, item in enumerate(universe)}
 
-    supports = database.item_supports()
+    supports = source.item_supports()
     # Heap entries: (−support, itemset). Itemsets are tuples of items
     # sorted ascending; children only append larger universe positions.
     heap: List[Tuple[int, Itemset]] = [
@@ -95,17 +103,15 @@ def top_k_itemsets(
     return result
 
 
-def _pruned_universe(
-    database: TransactionDatabase, k: int
-) -> List[int]:
+def _pruned_universe(source, k: int) -> List[int]:
     """Items that could appear in a top-``k`` itemset, sorted by id.
 
     Keeps items with support ≥ support of the k-th most frequent item
     (all items when fewer than k have positive support).  Rarer items
     are dominated: any itemset containing one has support below at
-    least k singleton itemsets.
+    least k singleton itemsets.  ``source`` is a database or backend.
     """
-    supports = database.item_supports()
+    supports = source.item_supports()
     positive = np.flatnonzero(supports > 0)
     if positive.size == 0:
         return []

@@ -47,3 +47,9 @@ class TestExamples:
         out = run_example("census_attributes.py")
         assert "consistent?" in out
         assert "epsilon" in out
+
+    def test_serving_session(self):
+        out = run_example("serving_session.py", "--smoke")
+        assert "serving a batch" in out
+        assert "over-budget request refused" in out
+        assert "cache info" in out
