@@ -1,0 +1,166 @@
+"""Service benchmark: throughput/latency over the real socket path.
+
+Measures the network serving layer end to end — HTTP framing, tenant
+ledger accounting, coalescing, executor hand-off, and the mining work
+itself — in three regimes:
+
+* **cold** — the first release against an unwarmed service: pays
+  dataset load, bitmap build, and the full Algorithm 1 scan;
+* **warm** — repeated releases at the same ``k``: every exact
+  intermediate comes from the session caches, only noise is fresh;
+* **coalesced** — a concurrent burst of cold requests from many
+  tenants against one dataset: the coalescer should collapse all
+  cold-start work into a single build, so the burst's total wall time
+  stays near one cold release, not N of them.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke   # CI
+
+``--smoke`` serves one cold and one warm request only — it exists so
+CI exercises the full server path (socket, HTTP parsing, ledgers) on
+every push without paying benchmark-scale work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import statistics
+import time
+from typing import Dict, List
+
+from repro.datasets.synthetic import QuestConfig, generate_quest
+from repro.service import PrivBasisService, ServiceClient, TenantRegistry
+
+K = 50
+EPSILON = 1.0
+WARM_RELEASES = 12
+BURST_TENANTS = 6
+
+#: Synthetic workload (IBM Quest generator, seeded) served under its
+#: own name through the injected loader — custom loaders own their
+#: dataset namespace.
+DATASET = "quest_synthetic"
+CONFIG = QuestConfig(
+    num_transactions=40_000,
+    num_items=120,
+    avg_transaction_length=10.0,
+    avg_pattern_length=4.0,
+    num_patterns=40,
+)
+SMOKE_CONFIG = QuestConfig(
+    num_transactions=2_000,
+    num_items=60,
+    avg_transaction_length=8.0,
+    avg_pattern_length=4.0,
+    num_patterns=20,
+)
+
+
+def build_service(smoke: bool) -> PrivBasisService:
+    """A service whose tenants all share one synthetic dataset."""
+    database = generate_quest(SMOKE_CONFIG if smoke else CONFIG, rng=3)
+    tenants = {
+        f"tenant{i}": {"dataset": DATASET, "epsilon_limit": 1000.0}
+        for i in range(BURST_TENANTS)
+    }
+    return PrivBasisService(
+        TenantRegistry.from_mapping(tenants),
+        dataset_loader=lambda name: database,
+        max_inflight=BURST_TENANTS + 2,
+    )
+
+
+async def timed_release(host: str, port: int, tenant: str) -> float:
+    """One release over its own connection; returns seconds taken."""
+    async with ServiceClient(host, port, tenant=tenant) as client:
+        started = time.perf_counter()
+        result = await client.release(k=K, epsilon=EPSILON)
+        elapsed = time.perf_counter() - started
+    assert result["itemsets"], "release returned no itemsets"
+    return elapsed
+
+
+async def run_benchmark(smoke: bool) -> Dict[str, object]:
+    """Serve the three regimes and collect latency numbers."""
+    service = build_service(smoke)
+    numbers: Dict[str, object] = {}
+    async with service.serving() as (host, port):
+        cold = await timed_release(host, port, "tenant0")
+        numbers["cold_s"] = cold
+
+        warm_count = 1 if smoke else WARM_RELEASES
+        async with ServiceClient(host, port, tenant="tenant0") as client:
+            warm: List[float] = []
+            for _ in range(warm_count):
+                started = time.perf_counter()
+                await client.release(k=K, epsilon=EPSILON)
+                warm.append(time.perf_counter() - started)
+        numbers["warm_s"] = statistics.median(warm)
+        numbers["warm_throughput_rps"] = warm_count / sum(warm)
+
+        if not smoke:
+            # Fresh service → genuinely cold burst, all tenants at once.
+            burst_service = build_service(smoke)
+            async with burst_service.serving() as (bhost, bport):
+                started = time.perf_counter()
+                await asyncio.gather(
+                    *(
+                        timed_release(bhost, bport, f"tenant{i}")
+                        for i in range(BURST_TENANTS)
+                    )
+                )
+                numbers["burst_wall_s"] = time.perf_counter() - started
+                metrics = burst_service.handle_metrics()
+                numbers["burst_coalescer"] = metrics["coalescer"]
+
+        metrics = service.handle_metrics()
+        numbers["cache"] = metrics["datasets"][DATASET]["cache"]
+    return numbers
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Run the benchmark (or the CI smoke variant) and print results."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one cold + one warm request only (CI server-path check)",
+    )
+    arguments = parser.parse_args(argv)
+    numbers = asyncio.run(run_benchmark(arguments.smoke))
+
+    print(
+        f"== service over N="
+        f"{(SMOKE_CONFIG if arguments.smoke else CONFIG).num_transactions}"
+        f" (k={K}, eps={EPSILON}) =="
+    )
+    print(f"cold release:  {numbers['cold_s'] * 1e3:8.2f} ms")
+    print(f"warm release:  {numbers['warm_s'] * 1e3:8.2f} ms (median)")
+    print(
+        f"warm rate:     {numbers['warm_throughput_rps']:8.1f} releases/s"
+    )
+    if "burst_wall_s" in numbers:
+        burst_wall = numbers["burst_wall_s"]
+        print(
+            f"coalesced burst of {BURST_TENANTS} cold tenants: "
+            f"{burst_wall * 1e3:8.2f} ms wall "
+            f"({burst_wall / numbers['cold_s']:.2f}x one cold release; "
+            f"uncoalesced would approach {BURST_TENANTS}x)"
+        )
+        print(f"burst coalescer: {numbers['burst_coalescer']}")
+        coalescer = numbers["burst_coalescer"]
+        assert coalescer["started"] == 1, "burst built more than once"
+        assert coalescer["coalesced"] == BURST_TENANTS - 1
+    print(f"cache: {numbers['cache']}")
+    if arguments.smoke:
+        print("smoke ok: served one cold and one warm release")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

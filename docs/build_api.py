@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Build the HTML API reference for :mod:`repro` from docstrings.
+
+Preferred path (CI): render with `pdoc <https://pdoc.dev>`_ and fail
+on **any** warning it emits (broken cross-references, unparsable
+annotations), so the published reference cannot rot silently.
+
+Fallback path (no pdoc installed): audit that every public module,
+class, and top-level function carries a docstring, then emit a plain
+HTML module index from the docstring summaries.  The script therefore
+always either produces a browsable artifact or exits non-zero; pass
+``--strict`` to additionally require pdoc itself (CI does).
+
+Usage::
+
+    python docs/build_api.py [--out docs/_build/api] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import importlib
+import inspect
+import pkgutil
+import sys
+import warnings
+from pathlib import Path
+from typing import Iterator, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def iter_module_names() -> Iterator[str]:
+    """Every importable module in the ``repro`` package, root first."""
+    import repro
+
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+def audit_docstrings(module_names: List[str]) -> List[str]:
+    """Names of public modules/classes/functions missing docstrings."""
+    missing: List[str] = []
+    for name in module_names:
+        module = importlib.import_module(name)
+        if not (module.__doc__ or "").strip():
+            missing.append(name)
+        for attribute, value in vars(module).items():
+            if attribute.startswith("_"):
+                continue
+            # Only audit objects *defined* here, not re-exports.
+            if getattr(value, "__module__", None) != name:
+                continue
+            if not (inspect.isclass(value) or inspect.isfunction(value)):
+                continue
+            if not (getattr(value, "__doc__", None) or "").strip():
+                missing.append(f"{name}.{attribute}")
+    return missing
+
+
+def build_with_pdoc(out_dir: Path) -> int:
+    """Render with pdoc; any warning fails the build."""
+    import pdoc
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        pdoc.pdoc("repro", output_directory=out_dir)
+    problems = [
+        f"{entry.category.__name__}: {entry.message}" for entry in caught
+    ]
+    if problems:
+        print(f"pdoc reported {len(problems)} warning(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"pdoc reference written to {out_dir}")
+    return 0
+
+
+def build_fallback_index(out_dir: Path, module_names: List[str]) -> None:
+    """Emit a minimal module index from docstring summaries."""
+    rows = []
+    for name in module_names:
+        module = importlib.import_module(name)
+        summary = (module.__doc__ or "").strip().splitlines()
+        first_line = summary[0] if summary else ""
+        rows.append(
+            f"<tr><td><code>{html.escape(name)}</code></td>"
+            f"<td>{html.escape(first_line)}</td></tr>"
+        )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "index.html").write_text(
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>repro API index</title></head><body>"
+        "<h1>repro — module index</h1>"
+        "<p>Generated without pdoc (docstring summaries only; install "
+        "<code>pdoc</code> for the full reference).</p>"
+        f"<table border='1' cellpadding='4'>{''.join(rows)}</table>"
+        "</body></html>",
+        encoding="utf-8",
+    )
+    print(f"fallback module index written to {out_dir / 'index.html'}")
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Build the reference; non-zero exit on any docs problem."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "docs" / "_build" / "api"),
+        help="output directory for the rendered HTML",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail if pdoc is unavailable instead of falling back",
+    )
+    arguments = parser.parse_args(argv)
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    out_dir = Path(arguments.out)
+
+    module_names = list(iter_module_names())
+    missing = audit_docstrings(module_names)
+    if missing:
+        print(f"{len(missing)} public object(s) missing docstrings:")
+        for name in missing:
+            print(f"  - {name}")
+        return 1
+    print(f"docstring audit ok: {len(module_names)} modules")
+
+    try:
+        import pdoc  # noqa: F401 — availability probe
+    except ImportError:
+        if arguments.strict:
+            print("pdoc is required with --strict: pip install pdoc")
+            return 1
+        build_fallback_index(out_dir, module_names)
+        return 0
+    return build_with_pdoc(out_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Check Markdown links in ``README.md`` and ``docs/*.md`` (stdlib only).
+
+Validates that
+
+* every relative link target exists on disk (anchors stripped);
+* every in-page anchor (``#section``) matches a heading in the target
+  file, using GitHub's slugging rules (lowercase, spaces to dashes,
+  punctuation dropped);
+* absolute URLs are well-formed ``http(s)`` — they are **not**
+  fetched, so CI stays hermetic and immune to external flakiness.
+
+Exit status is the number of broken links (0 = clean).
+
+Usage::
+
+    python docs/check_links.py [files...]   # default: README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+from urllib.parse import urlsplit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links: [text](target) — images included.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)  # inline formatting
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_in(path: Path) -> Set[str]:
+    """All heading anchors a Markdown file defines."""
+    text = path.read_text(encoding="utf-8")
+    text = _CODE_FENCE.sub("", text)
+    return {github_slug(match) for match in _HEADING.findall(text)}
+
+
+def check_file(path: Path) -> List[str]:
+    """Broken-link descriptions for one Markdown file."""
+    problems: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    text = _CODE_FENCE.sub("", text)
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://")):
+            parts = urlsplit(target)
+            if not parts.netloc:
+                problems.append(f"{path}: malformed URL {target!r}")
+            continue
+        if target.startswith("mailto:"):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in anchors_in(path):
+                problems.append(
+                    f"{path}: missing in-page anchor {target!r}"
+                )
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path}: broken relative link {target!r} "
+                f"(no {resolved})"
+            )
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in anchors_in(resolved):
+                problems.append(
+                    f"{path}: anchor {anchor!r} not found in "
+                    f"{resolved.name}"
+                )
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Check the given files (default README + docs); exit = #broken."""
+    arguments = sys.argv[1:] if argv is None else argv
+    if arguments:
+        files = [Path(name) for name in arguments]
+    else:
+        files = [REPO_ROOT / "README.md"]
+        files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    problems: List[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file not found")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    if problems:
+        print(f"{len(problems)} broken link(s) in {checked} file(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+    else:
+        print(f"links ok across {checked} file(s)")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,8 @@ Public API layers:
 * :mod:`repro.dp` — Laplace / exponential mechanisms, budget ledger.
 * :mod:`repro.metrics` — FNR and relative error (paper Section 5).
 * :mod:`repro.experiments` — the table/figure reproduction harness.
+* :mod:`repro.service` — the multi-tenant network service
+  (``python -m repro.service``).
 
 Serving many releases over one database?  Use a session::
 
@@ -52,8 +54,11 @@ __all__ = [
     "CountingBackend",
     "DatasetFormatError",
     "EmptySelectionError",
+    "PrivBasisService",
     "PrivBasisSession",
     "ReproError",
+    "ServiceClient",
+    "TenantRegistry",
     "ShardedBackend",
     "TransactionDatabase",
     "ValidationError",
@@ -82,6 +87,10 @@ def __getattr__(name: str):
         import repro.engine as engine
 
         return getattr(engine, name)
+    if name in ("PrivBasisService", "ServiceClient", "TenantRegistry"):
+        import repro.service as service
+
+        return getattr(service, name)
     if name == "privbasis_threshold":
         from repro.core.threshold import privbasis_threshold
 

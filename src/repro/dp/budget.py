@@ -101,6 +101,25 @@ class PrivacyBudget:
         self._entries.append(BudgetEntry(label, float(epsilon)))
         return float(epsilon)
 
+    def snapshot(self) -> dict:
+        """A JSON-serializable view of the ledger (service telemetry).
+
+        Returns ``epsilon`` / ``spent`` / ``remaining`` plus the full
+        entry list, so a budget endpoint can show a tenant exactly
+        where their ε went.  Infinite budgets serialize ``epsilon`` and
+        ``remaining`` as ``None`` (JSON has no ``inf``).
+        """
+        unlimited = math.isinf(self.epsilon)
+        return {
+            "epsilon": None if unlimited else self.epsilon,
+            "spent": self.spent,
+            "remaining": None if unlimited else self.remaining,
+            "entries": [
+                {"label": entry.label, "epsilon": entry.epsilon}
+                for entry in self._entries
+            ],
+        }
+
     def spend_all(self, label: str = "") -> float:
         """Consume whatever remains and return the amount."""
         amount = self.remaining

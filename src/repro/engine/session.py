@@ -111,6 +111,41 @@ class PrivBasisSession:
         """Hit/miss counters of the shared cache (telemetry)."""
         return self._backend.cache_info()
 
+    def stats(self) -> Dict[str, object]:
+        """One JSON-serializable bundle of ledger + cache telemetry.
+
+        This is the introspection surface :mod:`repro.service` polls
+        for its ``/metrics`` endpoint: the session-level ε ledger
+        (cumulative across every tenant sharing this session), the
+        per-kind cache hit/miss counters, and — when the inner backend
+        exposes it — the number of bitmap pools built, which is the
+        signal the coalescing tests use to prove cold-start work
+        happened at most once.
+        """
+        inner = self._backend.inner
+        stats: Dict[str, object] = {
+            "num_releases": self._num_releases,
+            "epsilon_spent": self._epsilon_spent,
+            "epsilon_limit": self._epsilon_limit,
+            "cache": self._backend.cache_info(),
+        }
+        pools_built = getattr(inner, "pools_built", None)
+        if pools_built is not None:
+            stats["pools_built"] = int(pools_built)
+        return stats
+
+    def warm_up(self) -> None:
+        """Pay the dataset-independent part of the cold-start cost now.
+
+        Computes the item-support vector through the caching backend so
+        the first real release skips that scan.  Deliberately touches
+        nothing release-specific (no top-k oracle, no bins): those
+        depend on ``k`` and the private basis, which are unknown until
+        a request arrives.  Reads only exact data — no privacy budget
+        is consumed.
+        """
+        self._backend.item_supports()
+
     # -- serving --------------------------------------------------------
     def _charge(self, epsilon: float) -> None:
         if not (epsilon > 0):

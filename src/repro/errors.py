@@ -5,13 +5,28 @@ All errors raised intentionally by the library derive from
 specific subclasses exist for the two failure domains that matter in
 practice: malformed inputs (:class:`ValidationError` and friends) and
 privacy-budget accounting (:class:`BudgetError`).
+
+Wire format
+-----------
+Every class carries a stable ``wire_code`` string so network layers
+(:mod:`repro.service`) can map exceptions to machine-readable error
+payloads without string-matching messages.  :func:`error_to_wire`
+builds the payload; :func:`wire_code_for` returns just the code.
+Codes are part of the service API contract — change them only with a
+deprecation path.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
+
+    #: Stable machine-readable identifier used in service error
+    #: payloads (see :func:`error_to_wire`).
+    wire_code = "internal_error"
 
 
 class ValidationError(ReproError, ValueError):
@@ -21,13 +36,19 @@ class ValidationError(ReproError, ValueError):
     expect standard-library semantics keep working.
     """
 
+    wire_code = "validation_error"
+
 
 class DatasetFormatError(ValidationError):
     """A dataset file (e.g. FIMI ``.dat``) could not be parsed."""
 
+    wire_code = "dataset_format_error"
+
 
 class BudgetError(ReproError):
     """Base class for privacy-budget accounting failures."""
+
+    wire_code = "budget_error"
 
 
 class BudgetExceededError(BudgetError):
@@ -36,6 +57,8 @@ class BudgetExceededError(BudgetError):
     Raised by :class:`repro.dp.budget.PrivacyBudget` when a ``spend``
     request would push the total consumption above the budget's ε.
     """
+
+    wire_code = "budget_exceeded"
 
     def __init__(self, requested: float, remaining: float) -> None:
         self.requested = float(requested)
@@ -48,3 +71,61 @@ class BudgetExceededError(BudgetError):
 
 class EmptySelectionError(ValidationError):
     """A selection mechanism was asked to choose from an empty domain."""
+
+    wire_code = "empty_selection"
+
+
+class UnknownTenantError(ValidationError):
+    """A service request named a tenant the registry does not know."""
+
+    wire_code = "unknown_tenant"
+
+    def __init__(self, tenant_id: str) -> None:
+        self.tenant_id = str(tenant_id)
+        super().__init__(f"unknown tenant {tenant_id!r}")
+
+
+class OverloadedError(ReproError):
+    """The service's admission controller rejected a request.
+
+    Raised (and mapped to HTTP 429) when accepting another release
+    would exceed the configured in-flight bound.
+    """
+
+    wire_code = "overloaded"
+
+    def __init__(self, in_flight: int, limit: int) -> None:
+        self.in_flight = int(in_flight)
+        self.limit = int(limit)
+        super().__init__(
+            f"{in_flight} releases in flight >= limit {limit}; retry later"
+        )
+
+
+def wire_code_for(error: BaseException) -> str:
+    """The stable wire code for ``error`` (``internal_error`` for
+    anything outside the :class:`ReproError` hierarchy)."""
+    return getattr(error, "wire_code", ReproError.wire_code)
+
+
+def error_to_wire(error: BaseException) -> Dict[str, Any]:
+    """Serialize ``error`` into the service's JSON error payload.
+
+    The payload always has ``error`` (the wire code) and ``message``;
+    typed exceptions contribute their structured fields so clients can
+    react without parsing messages (e.g. ``remaining`` on a
+    :class:`BudgetExceededError` tells an analyst how much ε is left).
+    """
+    payload: Dict[str, Any] = {
+        "error": wire_code_for(error),
+        "message": str(error),
+    }
+    if isinstance(error, BudgetExceededError):
+        payload["requested"] = error.requested
+        payload["remaining"] = error.remaining
+    if isinstance(error, UnknownTenantError):
+        payload["tenant"] = error.tenant_id
+    if isinstance(error, OverloadedError):
+        payload["in_flight"] = error.in_flight
+        payload["limit"] = error.limit
+    return payload

@@ -8,9 +8,13 @@ Usage::
     python -m repro.experiments.cli fig1 --plot      # ASCII charts
     python -m repro.experiments.cli datasets         # dataset summary
     python -m repro.experiments.cli all
+    python -m repro.experiments.cli serve --port 8008  # network service
 
 Dataset scale is controlled by ``REPRO_FULL_SCALE=1`` (paper-exact N)
 and the ε grid by ``--profile`` / ``REPRO_BENCH_PROFILE``.
+
+``serve`` hands the remaining arguments to ``python -m repro.service``
+(the multi-tenant release service) — see that module for its flags.
 """
 
 from __future__ import annotations
@@ -27,6 +31,15 @@ _ARTEFACTS = ["table2a", "table2b", *sorted(FIGURES)]
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Run one artefact command (or ``serve``); returns an exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["serve"]:
+        # The service owns its flags (--host/--port/--tenants/…);
+        # delegate before artefact parsing so the two CLIs stay
+        # independent.
+        from repro.service.__main__ import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.cli",
         description="Regenerate PrivBasis paper tables and figures.",

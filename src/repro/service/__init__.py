@@ -1,0 +1,37 @@
+"""Multi-tenant network serving for PrivBasis releases.
+
+This package puts a network boundary in front of the in-process
+serving layer (:class:`~repro.engine.session.PrivBasisSession`): an
+asyncio JSON-over-HTTP server (stdlib only) with per-tenant ε ledgers,
+coalesced cold starts, bounded admission, and telemetry.  Start it
+with ``python -m repro.service``; drive it with
+:class:`~repro.service.client.ServiceClient` or plain ``curl``.
+
+Layer map (see ``docs/architecture.md`` for the full picture)::
+
+    HTTP client ──► service.app ──► engine.session ──► engine backends
+                      │  per-tenant ε ledgers (dp.budget)
+                      │  coalesced cold starts (service.coalesce)
+                      └─ admission control + /metrics
+
+Privacy posture: tenants share only *exact* counting state; budgets
+are per-tenant and noise is drawn fresh per release (requests are
+seed-less by contract) — see ``docs/privacy-accounting.md``.
+"""
+
+from repro.service.app import PrivBasisService
+from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.coalesce import Coalescer
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.registry import Tenant, TenantRegistry
+
+__all__ = [
+    "Coalescer",
+    "LatencyHistogram",
+    "PrivBasisService",
+    "ServiceClient",
+    "ServiceHTTPError",
+    "ServiceMetrics",
+    "Tenant",
+    "TenantRegistry",
+]

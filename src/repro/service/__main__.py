@@ -1,0 +1,92 @@
+"""``python -m repro.service`` — run the PrivBasis network service.
+
+Examples::
+
+    python -m repro.service                         # demo tenants
+    python -m repro.service --port 9000 --warm
+    python -m repro.service --tenants tenants.json
+
+The tenants file is a JSON object mapping tenant ids to
+``{"dataset": <registry name>, "epsilon_limit": <float>}``; without
+one, two demo tenants (``alice``/``bob`` on ``mushroom``) are served.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from repro.service.app import DEFAULT_MAX_INFLIGHT, PrivBasisService
+from repro.service.registry import TenantRegistry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.service`` argument parser (reused by the CLI)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.service",
+        description="Multi-tenant PrivBasis release service.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8008,
+        help="bind port (0 for ephemeral)",
+    )
+    parser.add_argument(
+        "--tenants", metavar="FILE", default=None,
+        help="JSON tenant config; defaults to the two demo tenants",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT,
+        help="admission bound on concurrent releases (429 beyond)",
+    )
+    parser.add_argument(
+        "--warm", action="store_true",
+        help="pre-build every tenant dataset's session before serving",
+    )
+    return parser
+
+
+async def _run(arguments: argparse.Namespace) -> int:
+    registry = (
+        TenantRegistry.from_json_file(arguments.tenants)
+        if arguments.tenants
+        else TenantRegistry.demo()
+    )
+    service = PrivBasisService(
+        registry, max_inflight=arguments.max_inflight
+    )
+    if arguments.warm:
+        print("warming sessions:", ", ".join(registry.datasets()))
+        await service.warm_all()
+    host, port = await service.start(arguments.host, arguments.port)
+    print(
+        f"privbasis service on http://{host}:{port} "
+        f"({len(registry)} tenants: {', '.join(registry.tenant_ids())})"
+    )
+    print("endpoints: POST /v1/release, POST /v1/release_batch, "
+          "GET /v1/budget, GET /healthz, GET /metrics")
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.stop()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and serve until interrupted."""
+    arguments = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_run(arguments))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,484 @@
+"""The multi-tenant PrivBasis service (asyncio JSON-over-HTTP).
+
+One :class:`PrivBasisService` fronts one
+:class:`~repro.engine.session.PrivBasisSession` per dataset:
+
+* **Sessions are per-dataset, shared across tenants.**  Everything a
+  session caches is exact and non-private, so sharing it leaks nothing
+  between tenants; cold-start construction is deduplicated through a
+  :class:`~repro.service.coalesce.Coalescer` so a thundering herd on a
+  cold dataset builds its bitmaps once.
+* **Budgets are per-tenant, never shared.**  Every release spends from
+  the requesting tenant's :class:`~repro.dp.budget.PrivacyBudget`
+  before any noise is drawn; overdrafts map to HTTP 403 with a
+  structured ``budget_exceeded`` payload.
+* **Noise is per-release, never shared.**  Requests are seed-less by
+  contract (:mod:`repro.service.protocol`) and every release draws
+  from a fresh OS-seeded generator, so even byte-identical coalesced
+  requests return distinct outputs.
+* **Admission is bounded.**  At most ``max_inflight`` releases are in
+  flight (including time queued on the per-dataset lock); beyond that
+  the service answers 429 immediately instead of queueing unboundedly.
+
+Endpoints: ``POST /v1/release``, ``POST /v1/release_batch``,
+``GET /v1/budget?tenant=…``, ``GET /healthz``, ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+import traceback
+from contextlib import asynccontextmanager
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.engine.session import PrivBasisSession
+from repro.errors import (
+    BudgetExceededError,
+    OverloadedError,
+    ReproError,
+    UnknownTenantError,
+    ValidationError,
+    error_to_wire,
+)
+from repro.service import http
+from repro.service.coalesce import Coalescer
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    parse_batch_request,
+    parse_release_request,
+    result_to_wire,
+)
+from repro.service.registry import Tenant, TenantRegistry
+
+__all__ = ["PrivBasisService", "DEFAULT_MAX_INFLIGHT"]
+
+#: Default bound on concurrently admitted releases.
+DEFAULT_MAX_INFLIGHT = 8
+
+#: The routes the service answers; metrics label anything else
+#: "unknown" so a path-spraying client cannot grow per-route state
+#: without bound.
+ROUTES = frozenset(
+    {"/healthz", "/metrics", "/v1/budget", "/v1/release",
+     "/v1/release_batch"}
+)
+
+
+def _fresh_rng():
+    """A fresh OS-entropy generator for exactly one release.
+
+    The wire contract promises every release its own randomness; a
+    dedicated generator per request makes that literal — no stream is
+    shared across releases, tenants, or the session's own default rng.
+    """
+    import numpy as np
+
+    return np.random.default_rng()
+
+
+def _status_for(error: ReproError) -> int:
+    """Map a repro exception onto its HTTP status."""
+    if isinstance(error, UnknownTenantError):
+        return 404
+    if isinstance(error, BudgetExceededError):
+        return 403
+    if isinstance(error, OverloadedError):
+        return 429
+    if isinstance(error, ValidationError):
+        return 400
+    return 500
+
+
+class PrivBasisService:
+    """Serve DP releases for the tenants in ``registry``.
+
+    Parameters
+    ----------
+    registry:
+        The tenants to serve and their dataset bindings / ε limits.
+    dataset_loader:
+        ``name -> TransactionDatabase``; defaults to
+        :func:`repro.datasets.registry.load_dataset`.  Tests inject
+        small synthetic databases here.
+    backend_factory:
+        Optional ``database -> CountingBackend`` override (e.g. a
+        :class:`~repro.engine.sharded.ShardedBackend` for huge
+        datasets); the session wraps it in its caching layer.
+    max_inflight:
+        Admission bound on concurrent releases; excess requests get
+        HTTP 429 without queueing.
+    """
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        dataset_loader: Optional[Callable[[str], Any]] = None,
+        backend_factory: Optional[Callable[[Any], Any]] = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValidationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if dataset_loader is None:
+            from repro.datasets.registry import dataset_names, load_dataset
+
+            # With the built-in loader the resolvable names are known
+            # up front — fail at startup on a typo'd tenant config
+            # instead of on the first request.  Custom loaders own
+            # their namespace and skip this check.
+            known = set(dataset_names())
+            unknown = [
+                name for name in registry.datasets() if name not in known
+            ]
+            if unknown:
+                raise ValidationError(
+                    f"tenant config references datasets the built-in "
+                    f"registry does not know: {unknown}; available: "
+                    f"{sorted(known)}"
+                )
+            dataset_loader = load_dataset
+        self._registry = registry
+        self._loader = dataset_loader
+        self._backend_factory = backend_factory
+        self._max_inflight = int(max_inflight)
+        self._in_flight = 0
+        self._coalescer = Coalescer()
+        self._sessions: Dict[str, PrivBasisSession] = {}
+        self._release_locks: Dict[str, asyncio.Lock] = {}
+        self._metrics = ServiceMetrics()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._started_at = time.monotonic()
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def registry(self) -> TenantRegistry:
+        return self._registry
+
+    @property
+    def in_flight(self) -> int:
+        """Releases currently admitted (admission-control gauge)."""
+        return self._in_flight
+
+    def session_for(self, dataset: str) -> Optional[PrivBasisSession]:
+        """The warm session for ``dataset``, if one was built."""
+        return self._sessions.get(dataset)
+
+    # -- session lifecycle (coalesced cold starts) -----------------------
+    async def _build_session(self, dataset: str) -> PrivBasisSession:
+        loop = asyncio.get_running_loop()
+
+        def build() -> PrivBasisSession:
+            database = self._loader(dataset)
+            backend = (
+                self._backend_factory(database)
+                if self._backend_factory is not None
+                else None
+            )
+            session = PrivBasisSession(database, backend=backend)
+            session.warm_up()
+            return session
+
+        session = await loop.run_in_executor(None, build)
+        self._sessions[dataset] = session
+        return session
+
+    async def get_session(self, dataset: str) -> PrivBasisSession:
+        """The dataset's shared session; cold builds are coalesced."""
+        return await self._coalescer.get(
+            dataset, functools.partial(self._build_session, dataset)
+        )
+
+    async def warm_all(self) -> None:
+        """Pre-build sessions for every dataset tenants reference."""
+        await asyncio.gather(
+            *(self.get_session(name) for name in self._registry.datasets())
+        )
+
+    # -- admission control ----------------------------------------------
+    def _admit(self, weight: int = 1) -> None:
+        """Claim ``weight`` in-flight slots or raise 429.
+
+        A batch is weighted by its request count, so ``max_inflight``
+        bounds *releases*, not HTTP requests — a batch cannot smuggle
+        in more concurrent mining work than the limit allows (which
+        also means a batch larger than ``max_inflight`` is always
+        refused; raise the limit to serve bigger batches).
+        """
+        if self._in_flight + weight > self._max_inflight:
+            raise OverloadedError(self._in_flight, self._max_inflight)
+        self._in_flight += weight
+
+    def _release_slot(self, weight: int = 1) -> None:
+        self._in_flight -= weight
+
+    def _lock_for(self, dataset: str) -> asyncio.Lock:
+        lock = self._release_locks.get(dataset)
+        if lock is None:
+            lock = self._release_locks[dataset] = asyncio.Lock()
+        return lock
+
+    # -- release serving -------------------------------------------------
+    def _tenant_for(self, body: Mapping[str, Any]) -> Tenant:
+        tenant_id = body.get("tenant") if isinstance(body, Mapping) else None
+        if not isinstance(tenant_id, str) or not tenant_id:
+            raise ValidationError(
+                "request needs a 'tenant' string identifying the caller"
+            )
+        return self._registry.get(tenant_id)
+
+    async def _run_locked(self, dataset: str, call: Callable[[], Any]) -> Any:
+        """Run blocking mining work off-loop, serialized per dataset.
+
+        The lock keeps concurrent releases from mutating one session's
+        caches from two executor threads at once; releases against
+        *different* datasets still run in parallel.
+        """
+        loop = asyncio.get_running_loop()
+        async with self._lock_for(dataset):
+            return await loop.run_in_executor(None, call)
+
+    async def handle_release(
+        self, body: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """``POST /v1/release`` — one ε-DP release for one tenant."""
+        tenant = self._tenant_for(body)
+        request = parse_release_request(body)
+        self._admit()
+        try:
+            session = await self.get_session(tenant.dataset)
+            # Charge on the event loop thread *before* any noise is
+            # drawn: spends are serialized (no budget race) and a
+            # failed release after the charge errs on the safe side —
+            # budget is forfeited, never refunded.
+            tenant.ledger.spend(
+                request["epsilon"],
+                label=f"release k={request['k']}",
+            )
+            result = await self._run_locked(
+                tenant.dataset,
+                functools.partial(
+                    session.release, rng=_fresh_rng(), **request
+                ),
+            )
+        finally:
+            self._release_slot()
+        return {
+            "tenant": tenant.tenant_id,
+            "dataset": tenant.dataset,
+            **result_to_wire(result),
+        }
+
+    async def handle_release_batch(
+        self, body: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """``POST /v1/release_batch`` — all-or-nothing multi-release."""
+        tenant = self._tenant_for(body)
+        requests = parse_batch_request(body)
+        total = sum(request["epsilon"] for request in requests)
+        self._admit(weight=len(requests))
+        try:
+            session = await self.get_session(tenant.dataset)
+            if total > tenant.ledger.remaining:
+                raise BudgetExceededError(total, tenant.ledger.remaining)
+            for index, request in enumerate(requests):
+                tenant.ledger.spend(
+                    request["epsilon"],
+                    label=f"batch[{index}] k={request['k']}",
+                )
+            seeded = [
+                {**request, "rng": _fresh_rng()} for request in requests
+            ]
+            results = await self._run_locked(
+                tenant.dataset,
+                functools.partial(session.release_batch, seeded),
+            )
+        finally:
+            self._release_slot(weight=len(requests))
+        return {
+            "tenant": tenant.tenant_id,
+            "dataset": tenant.dataset,
+            "results": [result_to_wire(result) for result in results],
+        }
+
+    def handle_budget(self, tenant_id: str) -> Dict[str, Any]:
+        """``GET /v1/budget?tenant=…`` — the tenant's ledger snapshot."""
+        if not tenant_id:
+            raise ValidationError(
+                "budget queries need a ?tenant=<id> parameter"
+            )
+        return self._registry.get(tenant_id).snapshot()
+
+    def handle_healthz(self) -> Dict[str, Any]:
+        """``GET /healthz`` — liveness plus which sessions are warm."""
+        return {
+            "status": "ok",
+            "datasets": self._registry.datasets(),
+            "warm": sorted(self._sessions),
+            "tenants": len(self._registry),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }
+
+    def handle_metrics(self) -> Dict[str, Any]:
+        """``GET /metrics`` — HTTP, coalescer, and cache telemetry."""
+        return {
+            "http": self._metrics.snapshot(),
+            "in_flight": self._in_flight,
+            "max_inflight": self._max_inflight,
+            "coalescer": self._coalescer.stats(),
+            "datasets": {
+                name: session.stats()
+                for name, session in sorted(self._sessions.items())
+            },
+        }
+
+    # -- HTTP plumbing ---------------------------------------------------
+    async def dispatch(
+        self, request: http.HTTPRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Route one parsed request; never raises for expected errors."""
+        try:
+            if request.path == "/healthz" and request.method == "GET":
+                return 200, self.handle_healthz()
+            if request.path == "/metrics" and request.method == "GET":
+                return 200, self.handle_metrics()
+            if request.path == "/v1/budget" and request.method == "GET":
+                return 200, self.handle_budget(
+                    request.query.get("tenant", "")
+                )
+            if request.path == "/v1/release" and request.method == "POST":
+                body = request.json()
+                if not isinstance(body, Mapping):
+                    raise ValidationError("request body must be an object")
+                return 200, await self.handle_release(body)
+            if (
+                request.path == "/v1/release_batch"
+                and request.method == "POST"
+            ):
+                body = request.json()
+                if not isinstance(body, Mapping):
+                    raise ValidationError("request body must be an object")
+                return 200, await self.handle_release_batch(body)
+        except http.ProtocolError as error:
+            return error.status, {
+                "error": "protocol_error",
+                "message": str(error),
+            }
+        except ReproError as error:
+            return _status_for(error), error_to_wire(error)
+        except Exception as error:  # noqa: BLE001 — boundary catch-all
+            # A bug (or a loader failure) must answer as a JSON 500,
+            # not kill the connection with an opaque reset.
+            traceback.print_exc()
+            return 500, {
+                "error": "internal_error",
+                "message": f"{type(error).__name__}: {error}",
+            }
+        if request.path in ROUTES:
+            return 405, {
+                "error": "method_not_allowed",
+                "message": f"{request.method} not allowed on {request.path}",
+            }
+        return 404, {
+            "error": "not_found",
+            "message": f"no route for {request.path}",
+        }
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await http.read_request(reader)
+                except http.ProtocolError as error:
+                    http.write_response(
+                        writer,
+                        error.status,
+                        {"error": "protocol_error", "message": str(error)},
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                started = time.monotonic()
+                status, payload = await self.dispatch(request)
+                latency_ms = (time.monotonic() - started) * 1000.0
+                route = (
+                    request.path if request.path in ROUTES else "unknown"
+                )
+                self._metrics.record(route, status, latency_ms)
+                http.write_response(
+                    writer, status, payload, keep_alive=request.keep_alive
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            # stop() cancels idle keep-alive connections; finish the
+            # task normally or asyncio.streams' done-callback logs the
+            # cancellation as an unhandled exception.
+            pass
+        finally:
+            writer.close()
+            try:
+                await asyncio.shield(writer.wait_closed())
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 8008
+    ) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``.
+
+        Pass ``port=0`` to bind an ephemeral port (tests/benchmarks).
+        """
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listener.
+
+        Open keep-alive connections are cancelled and awaited so no
+        half-closed sockets or orphan tasks outlive the service.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        self._connections.clear()
+
+    @asynccontextmanager
+    async def serving(self, host: str = "127.0.0.1", port: int = 0):
+        """``async with service.serving() as (host, port): …``"""
+        bound = await self.start(host, port)
+        try:
+            yield bound
+        finally:
+            await self.stop()
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled (the CLI entrypoint's loop)."""
+        if self._server is None:
+            raise ValidationError("call start() before serve_forever()")
+        await self._server.serve_forever()

@@ -1,0 +1,193 @@
+"""Async client for the PrivBasis service (tests and benchmarks).
+
+:class:`ServiceClient` speaks the same stdlib HTTP framing as the
+server (:mod:`repro.service.http`), keeps one persistent keep-alive
+connection per client, and raises typed exceptions mirroring the wire
+error codes — so a benchmark can ``except BudgetExceededError`` on a
+client exactly like library code does around
+:meth:`~repro.engine.session.PrivBasisSession.release`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+from urllib.parse import quote
+
+from repro.errors import (
+    BudgetExceededError,
+    OverloadedError,
+    ReproError,
+    UnknownTenantError,
+    ValidationError,
+)
+from repro.service import http
+
+__all__ = ["ServiceClient", "ServiceHTTPError"]
+
+
+class ServiceHTTPError(ReproError):
+    """A non-2xx response with no more specific typed mapping."""
+
+    wire_code = "http_error"
+
+    def __init__(self, status: int, payload: Any) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload!r}")
+
+
+def _raise_for(status: int, payload: Any) -> None:
+    """Re-raise a wire error payload as its typed exception."""
+    code = payload.get("error") if isinstance(payload, dict) else None
+    message = (
+        payload.get("message", "") if isinstance(payload, dict) else ""
+    )
+    if code == "budget_exceeded":
+        raise BudgetExceededError(
+            payload.get("requested", 0.0), payload.get("remaining", 0.0)
+        )
+    if code == "unknown_tenant":
+        raise UnknownTenantError(payload.get("tenant", ""))
+    if code == "overloaded":
+        raise OverloadedError(
+            payload.get("in_flight", 0), payload.get("limit", 0)
+        )
+    if code in ("validation_error", "protocol_error"):
+        raise ValidationError(message or f"HTTP {status}")
+    raise ServiceHTTPError(status, payload)
+
+
+class ServiceClient:
+    """One tenant's connection to a running service.
+
+    Parameters
+    ----------
+    host, port:
+        Where the service listens.
+    tenant:
+        Default tenant id stamped on release/budget calls; individual
+        calls may override it.
+    """
+
+    def __init__(
+        self, host: str, port: int, tenant: Optional[str] = None
+    ) -> None:
+        self._host = host
+        self._port = int(port)
+        self._tenant = tenant
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Close the persistent connection (reopened on next call)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+
+    async def _roundtrip(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Any:
+        """One request/response over the persistent connection.
+
+        Only idempotent ``GET``s are transparently retried once on a
+        stale keep-alive connection.  A ``POST`` is **never** resent:
+        the server may have processed the request before the
+        connection died, and replaying a release would charge the
+        tenant's ε ledger twice for one logical request.  Callers that
+        lose a POST response should consult ``GET /v1/budget`` to see
+        whether the spend landed.
+        """
+        for attempt in (0, 1):
+            if self._writer is None:
+                await self._connect()
+            assert self._reader is not None and self._writer is not None
+            try:
+                http.write_request(self._writer, method, path, payload)
+                await self._writer.drain()
+                status, body = await http.read_response(self._reader)
+                break
+            except (
+                ConnectionError,
+                http.ProtocolError,
+                asyncio.IncompleteReadError,
+            ):
+                # A keep-alive connection the server already closed;
+                # reconnect once for idempotent requests, otherwise
+                # surface the failure to the caller.
+                await self.close()
+                if attempt or method != "GET":
+                    raise
+        if status >= 400:
+            _raise_for(status, body)
+        return body
+
+    def _tenant_id(self, tenant: Optional[str]) -> str:
+        tenant_id = tenant if tenant is not None else self._tenant
+        if not tenant_id:
+            raise ValidationError(
+                "no tenant configured; pass tenant= to the call or the "
+                "client constructor"
+            )
+        return tenant_id
+
+    # -- API surface -----------------------------------------------------
+    async def release(
+        self,
+        k: int,
+        epsilon: float,
+        noise: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """``POST /v1/release`` — returns the decoded response payload."""
+        body: Dict[str, Any] = {
+            "tenant": self._tenant_id(tenant),
+            "k": k,
+            "epsilon": epsilon,
+        }
+        if noise is not None:
+            body["noise"] = noise
+        return await self._roundtrip("POST", "/v1/release", body)
+
+    async def release_batch(
+        self,
+        requests: List[Dict[str, Any]],
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """``POST /v1/release_batch`` with ``[{"k": …, "epsilon": …}]``."""
+        body = {
+            "tenant": self._tenant_id(tenant),
+            "requests": list(requests),
+        }
+        return await self._roundtrip("POST", "/v1/release_batch", body)
+
+    async def budget(self, tenant: Optional[str] = None) -> Dict[str, Any]:
+        """``GET /v1/budget`` for this client's tenant."""
+        tenant_id = quote(self._tenant_id(tenant), safe="")
+        return await self._roundtrip(
+            "GET", f"/v1/budget?tenant={tenant_id}"
+        )
+
+    async def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return await self._roundtrip("GET", "/healthz")
+
+    async def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics``."""
+        return await self._roundtrip("GET", "/metrics")

@@ -1,0 +1,95 @@
+"""Single-flight request coalescing for cold-start work.
+
+When two tenants hit the same cold dataset concurrently, the expensive
+dataset-derived state (loading transactions, building the bitmap
+backend, the item-support scan) should be built **once** and shared —
+it is exact, non-private, and identical for every request.  The noise
+each release adds on top is drawn per request downstream and is never
+coalesced; see ``docs/privacy-accounting.md`` for why this split keeps
+coalescing privacy-neutral.
+
+:class:`Coalescer` implements the classic single-flight pattern over
+asyncio: the first caller for a key starts the factory and parks an
+``asyncio.Future`` under the key; concurrent callers for the same key
+await that same future.  Results stay cached so later callers get the
+warm object directly; failures are *not* cached — the future is
+removed so the next caller retries the factory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Hashable
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Deduplicate concurrent async factory calls per key.
+
+    Not thread-safe: all calls must come from one event loop, which is
+    how the service uses it (releases run in executor threads, but
+    session acquisition always happens on the loop).
+    """
+
+    def __init__(self) -> None:
+        self._futures: Dict[Hashable, "asyncio.Future[Any]"] = {}
+        #: Factory invocations actually started (cold starts).
+        self.started = 0
+        #: Calls that piggybacked on an *in-flight* factory — the
+        #: signature of two cold requests sharing one warm-up.
+        self.coalesced = 0
+        #: Calls served from an already-finished future (warm hits).
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    async def get(
+        self,
+        key: Hashable,
+        factory: Callable[[], Awaitable[Any]],
+    ) -> Any:
+        """Return the (possibly shared) result of ``factory`` for ``key``.
+
+        Exactly one factory runs per key at a time; its failure is
+        propagated to every waiter and then forgotten, so a transient
+        error does not poison the key forever.
+        """
+        future = self._futures.get(key)
+        if future is not None:
+            if future.done():
+                self.hits += 1
+            else:
+                self.coalesced += 1
+            return await asyncio.shield(future)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._futures[key] = future
+        self.started += 1
+        try:
+            result = await factory()
+        except BaseException as error:  # noqa: BLE001 — must unpark waiters
+            self._futures.pop(key, None)
+            future.set_exception(error)
+            # Waiters consume the exception via the future; if nobody
+            # is waiting, mark it retrieved so the loop does not log
+            # an "exception was never retrieved" warning.
+            future.exception()
+            raise
+        future.set_result(result)
+        return result
+
+    def discard(self, key: Hashable) -> None:
+        """Forget a finished key (e.g. to force a rebuild in tests)."""
+        future = self._futures.get(key)
+        if future is not None and future.done():
+            del self._futures[key]
+
+    def stats(self) -> Dict[str, int]:
+        """Cold starts / in-flight shared waits / warm hits."""
+        return {
+            "started": self.started,
+            "coalesced": self.coalesced,
+            "hits": self.hits,
+        }

@@ -1,0 +1,105 @@
+"""Request counters and latency histograms for ``/metrics``.
+
+Deliberately tiny: a fixed-bucket latency histogram per route plus
+request/status counters, all plain dicts so the ``/metrics`` endpoint
+can serialize them as JSON without a metrics library.  Buckets are
+cumulative (Prometheus-style ``le`` semantics) so dashboards can read
+quantile bounds directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+#: Upper bucket bounds in milliseconds.  Cold PrivBasis releases land
+#: in the hundreds of ms, warm ones in single digits, so the grid is
+#: log-spaced across both regimes.
+DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (milliseconds)."""
+
+    def __init__(
+        self, buckets_ms: Tuple[float, ...] = DEFAULT_BUCKETS_MS
+    ) -> None:
+        self._bounds = tuple(sorted(buckets_ms))
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._total_ms = 0.0
+        self._count = 0
+        self._max_ms = 0.0
+
+    def observe(self, latency_ms: float) -> None:
+        """Record one request latency."""
+        latency_ms = float(latency_ms)
+        index = len(self._bounds)
+        for i, bound in enumerate(self._bounds):
+            if latency_ms <= bound:
+                index = i
+                break
+        self._counts[index] += 1
+        self._total_ms += latency_ms
+        self._count += 1
+        self._max_ms = max(self._max_ms, latency_ms)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Cumulative bucket counts plus count/mean/max summaries."""
+        cumulative: List[Dict[str, float]] = []
+        running = 0
+        for bound, count in zip(self._bounds, self._counts):
+            running += count
+            cumulative.append({"le_ms": bound, "count": running})
+        cumulative.append(
+            {"le_ms": math.inf, "count": running + self._counts[-1]}
+        )
+        mean = self._total_ms / self._count if self._count else 0.0
+        return {
+            "count": self._count,
+            "mean_ms": mean,
+            "max_ms": self._max_ms,
+            "buckets": [
+                # JSON has no inf; spell the overflow bucket as null.
+                {
+                    "le_ms": (
+                        None if math.isinf(b["le_ms"]) else b["le_ms"]
+                    ),
+                    "count": b["count"],
+                }
+                for b in cumulative
+            ],
+        }
+
+
+class ServiceMetrics:
+    """Per-route request/status counters and latency histograms."""
+
+    def __init__(self) -> None:
+        self._requests: Dict[str, int] = {}
+        self._statuses: Dict[str, int] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+
+    def record(self, route: str, status: int, latency_ms: float) -> None:
+        """Record one handled request on ``route`` (e.g. ``/v1/release``)."""
+        self._requests[route] = self._requests.get(route, 0) + 1
+        status_key = f"{route}:{status}"
+        self._statuses[status_key] = self._statuses.get(status_key, 0) + 1
+        histogram = self._latency.get(route)
+        if histogram is None:
+            histogram = self._latency[route] = LatencyHistogram()
+        histogram.observe(latency_ms)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything ``/metrics`` reports about the HTTP layer."""
+        return {
+            "requests": dict(self._requests),
+            "statuses": dict(self._statuses),
+            "latency_ms": {
+                route: histogram.snapshot()
+                for route, histogram in self._latency.items()
+            },
+        }

@@ -1,0 +1,146 @@
+"""Wire format for the PrivBasis service (JSON request/response bodies).
+
+Request validation lives here so the HTTP layer stays transport-only
+and the same checks protect every entry point (single release, batch,
+and the in-process client used by benchmarks).
+
+A deliberate contract choice: release requests are **seed-less**.  The
+server draws fresh OS-seeded randomness per release; accepting a
+client-supplied seed would let one tenant replay another's noise (or
+their own, voiding the per-release ε guarantee), so ``seed`` / ``rng``
+keys are rejected with ``validation_error`` rather than ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.core.result import PrivateFIMResult
+from repro.errors import ValidationError
+
+__all__ = [
+    "parse_release_request",
+    "parse_batch_request",
+    "result_to_wire",
+]
+
+#: Noise mechanisms a release request may name (privbasis ``noise=``).
+ALLOWED_NOISE = ("laplace", "geometric")
+
+#: Keys a release request may carry beyond ``tenant``.
+_RELEASE_KEYS = {"k", "epsilon", "noise"}
+
+#: Keys that are rejected outright (see module docstring).
+_FORBIDDEN_KEYS = {"seed", "rng"}
+
+#: Upper bound on k per request — protects the shared mining substrate
+#: from a single tenant requesting an absurdly wide release.
+MAX_K = 10_000
+
+#: Upper bound on requests per batch.
+MAX_BATCH = 256
+
+
+def _require_mapping(body: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(body, Mapping):
+        raise ValidationError(
+            f"{what} must be a JSON object, got {type(body).__name__}"
+        )
+    return body
+
+
+def parse_release_request(body: Any) -> Dict[str, Any]:
+    """Validate one release body into ``privbasis`` keyword arguments.
+
+    Returns ``{"k": int, "epsilon": float}`` plus ``noise`` when given.
+    Raises :class:`~repro.errors.ValidationError` on anything
+    malformed, including forbidden ``seed``/``rng`` keys.
+    """
+    body = _require_mapping(body, "release request")
+    forbidden = _FORBIDDEN_KEYS & set(body)
+    if forbidden:
+        raise ValidationError(
+            f"release requests are seed-less by design; remove "
+            f"{sorted(forbidden)} (the server draws fresh randomness "
+            f"per release)"
+        )
+    unknown = set(body) - _RELEASE_KEYS - {"tenant"}
+    if unknown:
+        raise ValidationError(
+            f"unknown release request keys {sorted(unknown)}; "
+            f"allowed: {sorted(_RELEASE_KEYS)}"
+        )
+    if "k" not in body or "epsilon" not in body:
+        raise ValidationError("release request needs 'k' and 'epsilon'")
+    # Exact JSON types, no coercion: int(2.7) would silently serve a
+    # k=2 release the tenant did not ask for (and still charge it),
+    # and JSON true would pass float() as 1.0.
+    k = body["k"]
+    if isinstance(k, bool) or not isinstance(k, int):
+        raise ValidationError(f"k must be an integer, got {k!r}")
+    if not 1 <= k <= MAX_K:
+        raise ValidationError(f"k must be in [1, {MAX_K}], got {k!r}")
+    epsilon = body["epsilon"]
+    if isinstance(epsilon, bool) or not isinstance(epsilon, (int, float)):
+        raise ValidationError(
+            f"epsilon must be a number, got {epsilon!r}"
+        )
+    epsilon = float(epsilon)
+    if not 0 < epsilon < float("inf"):
+        raise ValidationError(
+            f"epsilon must be positive and finite, got {body['epsilon']!r}"
+        )
+    request: Dict[str, Any] = {"k": k, "epsilon": epsilon}
+    if "noise" in body:
+        noise = body["noise"]
+        if noise not in ALLOWED_NOISE:
+            raise ValidationError(
+                f"noise must be one of {list(ALLOWED_NOISE)}, got {noise!r}"
+            )
+        request["noise"] = noise
+    return request
+
+
+def parse_batch_request(body: Any) -> List[Dict[str, Any]]:
+    """Validate a batch body's ``requests`` list (all-or-nothing).
+
+    Every entry is validated before any is served, so a malformed
+    request in the middle of a batch cannot leave earlier releases
+    already charged.
+    """
+    body = _require_mapping(body, "batch request")
+    requests = body.get("requests")
+    if not isinstance(requests, list) or not requests:
+        raise ValidationError(
+            "batch request needs a non-empty 'requests' list"
+        )
+    if len(requests) > MAX_BATCH:
+        raise ValidationError(
+            f"batch size {len(requests)} exceeds the maximum {MAX_BATCH}"
+        )
+    return [parse_release_request(entry) for entry in requests]
+
+
+def result_to_wire(result: PrivateFIMResult) -> Dict[str, Any]:
+    """Serialize a release result into the response payload.
+
+    Only the published statistics go on the wire: itemsets with their
+    noisy counts/frequencies, plus ``k``/``epsilon``/``method`` echo.
+    Diagnostics like the basis set or the budget ledger stay
+    server-side — they are either derivable from the output or
+    internal accounting, and the response contract should not depend
+    on which pipeline produced the release.
+    """
+    return {
+        "method": result.method,
+        "k": result.k,
+        "epsilon": result.epsilon,
+        "itemsets": [
+            {
+                "items": list(entry.itemset),
+                "noisy_count": entry.noisy_count,
+                "noisy_frequency": entry.noisy_frequency,
+            }
+            for entry in result.itemsets
+        ],
+    }

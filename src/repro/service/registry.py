@@ -1,0 +1,168 @@
+"""Tenant registry: API tenants, their datasets, and their ε ledgers.
+
+A *tenant* is one analyst (or downstream application) the data holder
+serves.  Each tenant is bound to exactly one named dataset from
+:mod:`repro.datasets.registry` and owns a
+:class:`~repro.dp.budget.PrivacyBudget` ledger capped at its
+``epsilon_limit`` — the per-tenant privacy contract the service
+enforces with HTTP 403 once exhausted.
+
+Tenants sharing a dataset share the *exact* counting substrate (one
+:class:`~repro.engine.session.PrivBasisSession` per dataset, built via
+the coalescer) but never share budgets or randomness: ledgers are
+per-tenant, noise is per-release.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.dp.budget import PrivacyBudget
+from repro.errors import UnknownTenantError, ValidationError
+
+__all__ = ["Tenant", "TenantRegistry"]
+
+
+@dataclass
+class Tenant:
+    """One API tenant: identity, dataset binding, and ε ledger."""
+
+    tenant_id: str
+    dataset: str
+    epsilon_limit: float
+    ledger: PrivacyBudget = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id or not isinstance(self.tenant_id, str):
+            raise ValidationError(
+                f"tenant_id must be a non-empty string, "
+                f"got {self.tenant_id!r}"
+            )
+        if not (self.epsilon_limit > 0):
+            raise ValidationError(
+                f"epsilon_limit for tenant {self.tenant_id!r} must be "
+                f"positive, got {self.epsilon_limit!r}"
+            )
+        self.ledger = PrivacyBudget(float(self.epsilon_limit))
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/v1/budget`` payload for this tenant."""
+        return {
+            "tenant": self.tenant_id,
+            "dataset": self.dataset,
+            "epsilon_limit": self.epsilon_limit,
+            "ledger": self.ledger.snapshot(),
+        }
+
+
+class TenantRegistry:
+    """Maps tenant ids to :class:`Tenant` records.
+
+    Construct directly from :class:`Tenant` objects, from a plain
+    mapping (:meth:`from_mapping`) or from a JSON config file
+    (:meth:`from_json_file`) — the shape the ``python -m repro.service``
+    entrypoint reads.
+    """
+
+    def __init__(self, tenants: Optional[List[Tenant]] = None) -> None:
+        self._tenants: Dict[str, Tenant] = {}
+        for tenant in tenants or []:
+            self.add(tenant)
+
+    def add(self, tenant: Tenant) -> None:
+        """Register ``tenant`` (duplicate ids are a config error).
+
+        Dataset names are *not* validated here: which names resolve is
+        the dataset loader's business, and the service accepts custom
+        loaders.  :class:`~repro.service.app.PrivBasisService` checks
+        names against the built-in registry at startup when it uses
+        the default loader, so CLI typos still fail fast.
+        """
+        if tenant.tenant_id in self._tenants:
+            raise ValidationError(
+                f"duplicate tenant id {tenant.tenant_id!r}"
+            )
+        if not tenant.dataset or not isinstance(tenant.dataset, str):
+            raise ValidationError(
+                f"tenant {tenant.tenant_id!r} needs a non-empty dataset "
+                f"name, got {tenant.dataset!r}"
+            )
+        self._tenants[tenant.tenant_id] = tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        """Look up a tenant (:class:`UnknownTenantError` if absent)."""
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise UnknownTenantError(tenant_id)
+        return tenant
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self):
+        return iter(self._tenants.values())
+
+    def tenant_ids(self) -> List[str]:
+        """All registered tenant ids, in registration order."""
+        return list(self._tenants)
+
+    def datasets(self) -> List[str]:
+        """Distinct datasets referenced by tenants (session pre-warm)."""
+        seen: Dict[str, None] = {}
+        for tenant in self._tenants.values():
+            seen.setdefault(tenant.dataset, None)
+        return list(seen)
+
+    @classmethod
+    def from_mapping(
+        cls, config: Mapping[str, Mapping[str, object]]
+    ) -> "TenantRegistry":
+        """Build from ``{tenant_id: {"dataset": ..., "epsilon_limit": ...}}``."""
+        registry = cls()
+        for tenant_id, entry in config.items():
+            if not isinstance(entry, Mapping):
+                raise ValidationError(
+                    f"tenant {tenant_id!r} config must be an object, "
+                    f"got {entry!r}"
+                )
+            unknown = set(entry) - {"dataset", "epsilon_limit"}
+            if unknown:
+                raise ValidationError(
+                    f"tenant {tenant_id!r} has unknown config keys "
+                    f"{sorted(unknown)}"
+                )
+            try:
+                dataset = str(entry["dataset"])
+                epsilon_limit = float(entry["epsilon_limit"])  # type: ignore[arg-type]
+            except (KeyError, TypeError, ValueError):
+                raise ValidationError(
+                    f"tenant {tenant_id!r} needs 'dataset' (str) and "
+                    f"'epsilon_limit' (number), got {dict(entry)!r}"
+                )
+            registry.add(Tenant(tenant_id, dataset, epsilon_limit))
+        if not len(registry):
+            raise ValidationError("tenant config defines no tenants")
+        return registry
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "TenantRegistry":
+        """Load :meth:`from_mapping` config from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            config = json.load(handle)
+        if not isinstance(config, dict):
+            raise ValidationError(
+                f"tenant config file {path!r} must hold a JSON object"
+            )
+        return cls.from_mapping(config)
+
+    @classmethod
+    def demo(cls) -> "TenantRegistry":
+        """Two demo tenants on ``mushroom`` (the README quickstart)."""
+        return cls.from_mapping(
+            {
+                "alice": {"dataset": "mushroom", "epsilon_limit": 5.0},
+                "bob": {"dataset": "mushroom", "epsilon_limit": 2.0},
+            }
+        )

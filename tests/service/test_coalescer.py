@@ -1,0 +1,140 @@
+"""Single-flight semantics of the cold-start coalescer."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_concurrent_calls_share_one_factory_run(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = 0
+
+            async def factory():
+                nonlocal calls
+                calls += 1
+                await asyncio.sleep(0.01)
+                return object()
+
+            results = await asyncio.gather(
+                *(coalescer.get("key", factory) for _ in range(5))
+            )
+            return coalescer, calls, results
+
+        coalescer, calls, results = run(scenario())
+        assert calls == 1
+        assert coalescer.started == 1
+        assert coalescer.coalesced == 4
+        # Every caller got the *same* object, not an equal copy.
+        assert all(result is results[0] for result in results)
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            coalescer = Coalescer()
+
+            async def factory():
+                await asyncio.sleep(0.005)
+                return object()
+
+            await asyncio.gather(
+                coalescer.get("a", factory), coalescer.get("b", factory)
+            )
+            return coalescer
+
+        coalescer = run(scenario())
+        assert coalescer.started == 2
+        assert coalescer.coalesced == 0
+
+    def test_finished_key_is_a_warm_hit(self):
+        async def scenario():
+            coalescer = Coalescer()
+
+            async def factory():
+                return 42
+
+            first = await coalescer.get("key", factory)
+            second = await coalescer.get("key", factory)
+            return coalescer, first, second
+
+        coalescer, first, second = run(scenario())
+        assert (first, second) == (42, 42)
+        assert coalescer.started == 1
+        assert coalescer.hits == 1
+        assert coalescer.coalesced == 0
+
+
+class TestFailure:
+    def test_failure_propagates_to_every_waiter(self):
+        async def scenario():
+            coalescer = Coalescer()
+
+            async def factory():
+                await asyncio.sleep(0.01)
+                raise RuntimeError("cold start failed")
+
+            results = await asyncio.gather(
+                *(coalescer.get("key", factory) for _ in range(3)),
+                return_exceptions=True,
+            )
+            return coalescer, results
+
+        coalescer, results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        # The failure is forgotten: the key is free for a retry.
+        assert len(coalescer) == 0
+
+    def test_retry_after_failure_runs_the_factory_again(self):
+        async def scenario():
+            coalescer = Coalescer()
+            attempts = 0
+
+            async def factory():
+                nonlocal attempts
+                attempts += 1
+                if attempts == 1:
+                    raise RuntimeError("transient")
+                return "recovered"
+
+            with pytest.raises(RuntimeError):
+                await coalescer.get("key", factory)
+            return await coalescer.get("key", factory), attempts
+
+        result, attempts = run(scenario())
+        assert result == "recovered"
+        assert attempts == 2
+
+
+class TestDiscard:
+    def test_discard_forces_a_rebuild(self):
+        async def scenario():
+            coalescer = Coalescer()
+            builds = 0
+
+            async def factory():
+                nonlocal builds
+                builds += 1
+                return builds
+
+            first = await coalescer.get("key", factory)
+            coalescer.discard("key")
+            second = await coalescer.get("key", factory)
+            return first, second
+
+        assert run(scenario()) == (1, 2)
+
+    def test_stats_shape(self):
+        coalescer = Coalescer()
+        assert coalescer.stats() == {
+            "started": 0,
+            "coalesced": 0,
+            "hits": 0,
+        }

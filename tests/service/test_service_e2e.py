@@ -1,0 +1,458 @@
+"""End-to-end service tests over a real socket.
+
+The acceptance scenario for the service layer: start the server
+in-process on an ephemeral port, run two tenants against the same
+dataset concurrently, and verify
+
+* cold-start work is coalesced — the dataset is loaded and the
+  item-support scan runs exactly once (asserted via backend stats);
+* coalesced requests still get **distinct** noisy outputs (noise is
+  never shared);
+* each tenant's ε ledger is charged independently and exactly;
+* a tenant whose ``epsilon_limit`` would be exceeded gets HTTP 403
+  with a structured ``budget_exceeded`` payload;
+* admission control answers 429 once ``max_inflight`` is reached.
+
+The registry's ``mushroom`` name is bound to a small synthetic
+database through the injectable ``dataset_loader``, keeping the test
+hermetic and fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import (
+    BudgetExceededError,
+    OverloadedError,
+    UnknownTenantError,
+    ValidationError,
+)
+from repro.service import PrivBasisService, ServiceClient, TenantRegistry
+
+DATASET = "mushroom"  # registry name; data comes from the fake loader
+
+
+def small_database(seed: int = 5) -> TransactionDatabase:
+    """A 200-transaction database with a planted frequent block."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(200):
+        row = set()
+        if rng.random() < 0.6:
+            row.update(i for i in range(5) if rng.random() < 0.9)
+        row.update(int(item) for item in rng.choice(15, size=3))
+        rows.append(sorted(row))
+    return TransactionDatabase(rows, num_items=15)
+
+
+class CountingLoader:
+    """Dataset loader that records how many times it actually built."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._database = small_database()
+
+    def __call__(self, name: str) -> TransactionDatabase:
+        assert name == DATASET
+        self.calls += 1
+        return self._database
+
+
+def make_service(max_inflight: int = 8):
+    registry = TenantRegistry.from_mapping(
+        {
+            "alice": {"dataset": DATASET, "epsilon_limit": 3.0},
+            "bob": {"dataset": DATASET, "epsilon_limit": 3.0},
+            "carol": {"dataset": DATASET, "epsilon_limit": 1.0},
+        }
+    )
+    loader = CountingLoader()
+    service = PrivBasisService(
+        registry, dataset_loader=loader, max_inflight=max_inflight
+    )
+    return service, loader
+
+
+async def release_once(host, port, tenant, k=8, epsilon=0.5):
+    async with ServiceClient(host, port, tenant=tenant) as client:
+        return await client.release(k=k, epsilon=epsilon)
+
+
+class TestTwoTenantScenario:
+    def test_concurrent_cold_start_is_coalesced_with_distinct_noise(self):
+        async def scenario():
+            service, loader = make_service()
+            async with service.serving() as (host, port):
+                first, second = await asyncio.gather(
+                    release_once(host, port, "alice"),
+                    release_once(host, port, "bob"),
+                )
+                async with ServiceClient(host, port) as client:
+                    metrics = await client.metrics()
+                    alice = await client.budget(tenant="alice")
+                    bob = await client.budget(tenant="bob")
+            return service, loader, first, second, metrics, alice, bob
+
+        service, loader, first, second, metrics, alice, bob = asyncio.run(
+            scenario()
+        )
+
+        # Cold-start work happened once: one dataset build, one
+        # item-support scan, one coalesced waiter.
+        assert loader.calls == 1
+        assert metrics["coalescer"]["started"] == 1
+        assert metrics["coalescer"]["coalesced"] == 1
+        cache = metrics["datasets"][DATASET]["cache"]
+        assert cache["item_supports"]["misses"] == 1
+        assert cache["item_supports"]["hits"] >= 2
+
+        # Coalescing shared the exact substrate, never the noise:
+        # byte-identical requests, distinct outputs.
+        noisy_first = [e["noisy_frequency"] for e in first["itemsets"]]
+        noisy_second = [e["noisy_frequency"] for e in second["itemsets"]]
+        assert noisy_first != noisy_second
+
+        # Per-tenant ledgers: each tenant paid exactly its own 0.5.
+        for snapshot in (alice, bob):
+            assert snapshot["ledger"]["spent"] == pytest.approx(0.5)
+            assert snapshot["ledger"]["remaining"] == pytest.approx(2.5)
+            assert [
+                entry["epsilon"] for entry in snapshot["ledger"]["entries"]
+            ] == [pytest.approx(0.5)]
+        # The shared session saw both releases (dataset-level total).
+        assert metrics["datasets"][DATASET]["num_releases"] == 2
+        assert metrics["datasets"][DATASET]["epsilon_spent"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_warm_requests_hit_caches_without_rebuilds(self):
+        async def scenario():
+            service, loader = make_service()
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    await c.release(k=8, epsilon=0.25)
+                    pools_after_first = service.session_for(
+                        DATASET
+                    ).stats()["pools_built"]
+                    await c.release(k=8, epsilon=0.25)
+                    stats = service.session_for(DATASET).stats()
+            return loader, pools_after_first, stats
+
+        loader, pools_after_first, stats = asyncio.run(scenario())
+        assert loader.calls == 1
+        # The warm release re-used the bitmap pools built by the first.
+        assert stats["pools_built"] == pools_after_first
+        hits = sum(entry["hits"] for entry in stats["cache"].values())
+        assert hits > 0
+
+
+class TestBudgetEnforcement:
+    def test_403_once_epsilon_limit_is_exhausted(self):
+        async def scenario():
+            service, _ = make_service()
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="carol") as c:
+                    await c.release(k=5, epsilon=0.8)
+                    with pytest.raises(BudgetExceededError) as info:
+                        await c.release(k=5, epsilon=0.8)
+                    snapshot = await c.budget()
+            return info.value, snapshot
+
+        error, snapshot = asyncio.run(scenario())
+        # Structured payload: the client knows what it asked for and
+        # what is left, without parsing the message.
+        assert error.requested == pytest.approx(0.8)
+        assert error.remaining == pytest.approx(0.2)
+        # The refused release did not touch the ledger.
+        assert snapshot["ledger"]["spent"] == pytest.approx(0.8)
+        assert len(snapshot["ledger"]["entries"]) == 1
+
+    def test_batch_is_all_or_nothing_against_the_ledger(self):
+        async def scenario():
+            service, _ = make_service()
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="carol") as c:
+                    with pytest.raises(BudgetExceededError):
+                        await c.release_batch(
+                            [
+                                {"k": 5, "epsilon": 0.6},
+                                {"k": 5, "epsilon": 0.6},
+                            ]
+                        )
+                    after_reject = await c.budget()
+                    ok = await c.release_batch(
+                        [
+                            {"k": 5, "epsilon": 0.3},
+                            {"k": 5, "epsilon": 0.3},
+                        ]
+                    )
+                    after_ok = await c.budget()
+            return after_reject, ok, after_ok
+
+        after_reject, ok, after_ok = asyncio.run(scenario())
+        # The oversized batch charged nothing at all.
+        assert after_reject["ledger"]["spent"] == 0.0
+        assert len(ok["results"]) == 2
+        assert after_ok["ledger"]["spent"] == pytest.approx(0.6)
+
+    def test_unknown_tenant_is_typed(self):
+        async def scenario():
+            service, _ = make_service()
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port) as client:
+                    with pytest.raises(UnknownTenantError):
+                        await client.release(
+                            k=5, epsilon=0.1, tenant="mallory"
+                        )
+                    with pytest.raises(UnknownTenantError):
+                        await client.budget(tenant="mallory")
+
+        asyncio.run(scenario())
+
+
+class TestAdmissionControl:
+    def test_429_when_max_inflight_is_reached(self):
+        async def scenario():
+            service, _ = make_service(max_inflight=1)
+            async with service.serving() as (host, port):
+                # Pre-build the session, then hold the dataset's
+                # release lock so an admitted request stays in flight
+                # deterministically.
+                await service.get_session(DATASET)
+                lock = service._lock_for(DATASET)
+                await lock.acquire()
+                try:
+                    blocked = asyncio.create_task(
+                        release_once(host, port, "alice")
+                    )
+                    while service.in_flight < 1:
+                        await asyncio.sleep(0.005)
+                    with pytest.raises(OverloadedError) as info:
+                        await release_once(host, port, "bob")
+                finally:
+                    lock.release()
+                first = await blocked
+            return info.value, first
+
+        error, first = asyncio.run(scenario())
+        assert error.limit == 1
+        # The admitted request finished normally once the lock freed.
+        assert first["itemsets"]
+
+    def test_batch_admission_is_weighted_by_request_count(self):
+        # max_inflight bounds *releases*, not HTTP requests: a batch
+        # wider than the limit is refused outright.
+        async def scenario():
+            service, _ = make_service(max_inflight=2)
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    with pytest.raises(OverloadedError):
+                        await c.release_batch(
+                            [{"k": 5, "epsilon": 0.1}] * 3
+                        )
+                    after_reject = await c.budget()
+                    ok = await c.release_batch(
+                        [{"k": 5, "epsilon": 0.1}] * 2
+                    )
+            return after_reject, ok
+
+        after_reject, ok = asyncio.run(scenario())
+        # The refused batch charged nothing.
+        assert after_reject["ledger"]["spent"] == 0.0
+        assert len(ok["results"]) == 2
+
+    def test_slot_is_released_after_each_request(self):
+        async def scenario():
+            service, _ = make_service(max_inflight=1)
+            async with service.serving() as (host, port):
+                for _ in range(3):  # sequential requests all admitted
+                    await release_once(
+                        host, port, "alice", epsilon=0.2
+                    )
+                return service.in_flight
+
+        assert asyncio.run(scenario()) == 0
+
+
+class TestWireContract:
+    def test_seedful_requests_rejected_over_the_wire(self):
+        async def scenario():
+            service, _ = make_service()
+            async with service.serving() as (host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                from repro.service import http
+
+                http.write_request(
+                    writer,
+                    "POST",
+                    "/v1/release",
+                    {
+                        "tenant": "alice",
+                        "k": 5,
+                        "epsilon": 0.5,
+                        "seed": 1234,
+                    },
+                )
+                await writer.drain()
+                status, payload = await http.read_response(reader)
+                writer.close()
+            return status, payload
+
+        status, payload = asyncio.run(scenario())
+        assert status == 400
+        assert payload["error"] == "validation_error"
+        assert "seed-less" in payload["message"]
+
+    def test_unknown_route_and_wrong_method(self):
+        async def scenario():
+            service, _ = make_service()
+            async with service.serving() as (host, port):
+                from repro.service import http
+
+                reader, writer = await asyncio.open_connection(host, port)
+                http.write_request(writer, "GET", "/v2/nothing")
+                await writer.drain()
+                missing = await http.read_response(reader)
+                http.write_request(writer, "DELETE", "/healthz")
+                await writer.drain()
+                wrong = await http.read_response(reader)
+                writer.close()
+            return missing, wrong
+
+        missing, wrong = asyncio.run(scenario())
+        assert missing[0] == 404
+        assert wrong[0] == 405
+
+    def test_healthz_and_metrics_shapes(self):
+        async def scenario():
+            service, _ = make_service()
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    health_cold = await c.healthz()
+                    await c.release(k=5, epsilon=0.1)
+                    health_warm = await c.healthz()
+                    metrics = await c.metrics()
+            return health_cold, health_warm, metrics
+
+        health_cold, health_warm, metrics = asyncio.run(scenario())
+        assert health_cold["status"] == "ok"
+        assert health_cold["warm"] == []
+        assert health_warm["warm"] == [DATASET]
+        assert metrics["http"]["requests"]["/v1/release"] == 1
+        assert metrics["http"]["statuses"]["/v1/release:200"] == 1
+        latency = metrics["http"]["latency_ms"]["/v1/release"]
+        assert latency["count"] == 1
+        assert latency["buckets"][-1]["count"] == 1
+
+    def test_unmatched_paths_share_one_metrics_label(self):
+        # A path-spraying client must not grow per-route metrics state.
+        async def scenario():
+            service, _ = make_service()
+            async with service.serving() as (host, port):
+                from repro.service import http
+
+                reader, writer = await asyncio.open_connection(host, port)
+                for index in range(5):
+                    http.write_request(writer, "GET", f"/spray/{index}")
+                    await writer.drain()
+                    await http.read_response(reader)
+                writer.close()
+                async with ServiceClient(host, port) as client:
+                    return await client.metrics()
+
+        metrics = asyncio.run(scenario())
+        assert metrics["http"]["requests"]["unknown"] == 5
+        sprayed = [
+            route
+            for route in metrics["http"]["requests"]
+            if route.startswith("/spray")
+        ]
+        assert sprayed == []
+
+    def test_default_loader_rejects_unknown_datasets_at_startup(self):
+        registry = TenantRegistry.from_mapping(
+            {"alice": {"dataset": "no_such_set", "epsilon_limit": 1.0}}
+        )
+        with pytest.raises(ValidationError, match="no_such_set"):
+            PrivBasisService(registry)  # default loader → fail fast
+
+    def test_custom_loader_owns_its_dataset_namespace(self):
+        # An injected loader serves names the built-in registry has
+        # never heard of.
+        async def scenario():
+            registry = TenantRegistry.from_mapping(
+                {"alice": {"dataset": "internal_sales",
+                           "epsilon_limit": 2.0}}
+            )
+            service = PrivBasisService(
+                registry, dataset_loader=lambda name: small_database()
+            )
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    return await c.release(k=5, epsilon=0.5)
+
+        assert asyncio.run(scenario())["dataset"] == "internal_sales"
+
+    def test_unexpected_server_error_answers_json_500(self):
+        # A crashing loader (a bug, a missing file) must surface as a
+        # structured 500, not a dropped connection.
+        async def scenario():
+            registry = TenantRegistry.from_mapping(
+                {"alice": {"dataset": "doomed", "epsilon_limit": 1.0}}
+            )
+
+            def exploding_loader(name):
+                raise FileNotFoundError(f"no data for {name}")
+
+            service = PrivBasisService(
+                registry, dataset_loader=exploding_loader
+            )
+            async with service.serving() as (host, port):
+                from repro.service import http
+
+                reader, writer = await asyncio.open_connection(host, port)
+                http.write_request(
+                    writer,
+                    "POST",
+                    "/v1/release",
+                    {"tenant": "alice", "k": 5, "epsilon": 0.5},
+                )
+                await writer.drain()
+                status, payload = await http.read_response(reader)
+                writer.close()
+                snapshot = service.registry.get("alice").snapshot()
+            return status, payload, snapshot
+
+        status, payload, snapshot = asyncio.run(scenario())
+        assert status == 500
+        assert payload["error"] == "internal_error"
+        assert "FileNotFoundError" in payload["message"]
+        # The failed cold start never reached the ledger.
+        assert snapshot["ledger"]["spent"] == 0.0
+
+    def test_budget_for_tenant_id_needing_url_encoding(self):
+        async def scenario():
+            registry = TenantRegistry.from_mapping(
+                {"team a&b": {"dataset": "x", "epsilon_limit": 1.0}}
+            )
+            service = PrivBasisService(
+                registry, dataset_loader=lambda name: small_database()
+            )
+            async with service.serving() as (host, port):
+                async with ServiceClient(
+                    host, port, tenant="team a&b"
+                ) as client:
+                    return await client.budget()
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot["tenant"] == "team a&b"
+
+    def test_client_requires_a_tenant(self):
+        client = ServiceClient("127.0.0.1", 1)
+        with pytest.raises(ValidationError):
+            asyncio.run(client.release(k=5, epsilon=0.1))

@@ -1,0 +1,101 @@
+"""Contracts of the exception hierarchy and its wire format.
+
+Two things are pinned here: (1) the ``isinstance`` relationships
+callers rely on (e.g. catching :class:`ValueError` catches a
+:class:`ValidationError`), and (2) the wire codes the service maps
+onto HTTP error payloads — these are API surface and must not drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BudgetError,
+    BudgetExceededError,
+    DatasetFormatError,
+    EmptySelectionError,
+    OverloadedError,
+    ReproError,
+    UnknownTenantError,
+    ValidationError,
+    error_to_wire,
+    wire_code_for,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for error in (
+            ValidationError("x"),
+            DatasetFormatError("x"),
+            BudgetError("x"),
+            BudgetExceededError(1.0, 0.5),
+            EmptySelectionError("x"),
+            UnknownTenantError("t"),
+            OverloadedError(4, 4),
+        ):
+            assert isinstance(error, ReproError)
+
+    def test_validation_error_is_a_value_error(self):
+        # Generic callers that `except ValueError` keep working.
+        assert isinstance(ValidationError("x"), ValueError)
+        assert isinstance(DatasetFormatError("x"), ValueError)
+        assert isinstance(EmptySelectionError("x"), ValueError)
+        assert isinstance(UnknownTenantError("t"), ValueError)
+
+    def test_budget_exceeded_is_a_budget_error(self):
+        error = BudgetExceededError(2.0, 1.0)
+        assert isinstance(error, BudgetError)
+        assert not isinstance(error, ValueError)
+
+    def test_budget_exceeded_fields(self):
+        error = BudgetExceededError(2.0, 0.25)
+        assert error.requested == 2.0
+        assert error.remaining == 0.25
+        assert "2" in str(error) and "0.25" in str(error)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise UnknownTenantError("nobody")
+        with pytest.raises(ReproError):
+            raise OverloadedError(9, 8)
+
+
+class TestWireCodes:
+    # The service's HTTP error contract: codes are stable strings.
+    EXPECTED = {
+        ReproError("x"): "internal_error",
+        ValidationError("x"): "validation_error",
+        DatasetFormatError("x"): "dataset_format_error",
+        BudgetError("x"): "budget_error",
+        BudgetExceededError(1.0, 0.0): "budget_exceeded",
+        EmptySelectionError("x"): "empty_selection",
+        UnknownTenantError("t"): "unknown_tenant",
+        OverloadedError(1, 1): "overloaded",
+    }
+
+    def test_wire_codes_are_stable(self):
+        for error, code in self.EXPECTED.items():
+            assert wire_code_for(error) == code
+            assert error_to_wire(error)["error"] == code
+
+    def test_foreign_exceptions_map_to_internal_error(self):
+        assert wire_code_for(RuntimeError("boom")) == "internal_error"
+
+    def test_payload_always_has_message(self):
+        payload = error_to_wire(ValidationError("k must be >= 1"))
+        assert payload["message"] == "k must be >= 1"
+
+    def test_budget_exceeded_payload_is_structured(self):
+        payload = error_to_wire(BudgetExceededError(0.8, 0.3))
+        assert payload["requested"] == 0.8
+        assert payload["remaining"] == 0.3
+
+    def test_unknown_tenant_payload_names_the_tenant(self):
+        assert error_to_wire(UnknownTenantError("zed"))["tenant"] == "zed"
+
+    def test_overloaded_payload_has_limits(self):
+        payload = error_to_wire(OverloadedError(5, 4))
+        assert payload["in_flight"] == 5
+        assert payload["limit"] == 4
