@@ -35,7 +35,7 @@ Serving many releases over one database?  Use a session::
 >>> warm = [session.release(k=25, epsilon=1.0) for _ in range(4)]
 """
 
-from repro.datasets import TransactionDatabase, load_dataset
+from repro.datasets import TransactionDatabase, TransactionLog, load_dataset
 from repro.errors import (
     BudgetError,
     BudgetExceededError,
@@ -61,6 +61,7 @@ __all__ = [
     "TenantRegistry",
     "ShardedBackend",
     "TransactionDatabase",
+    "TransactionLog",
     "ValidationError",
     "load_dataset",
     "privbasis",

@@ -34,6 +34,13 @@ class PrivateFIMResult:
     k: int
     epsilon: float
     method: str
+    #: Snapshot version of the database this release was computed on.
+    #: ``None`` for direct pipeline calls over a static database; the
+    #: snapshot-aware serving session
+    #: (:class:`repro.engine.session.PrivBasisSession`) pins it so a
+    #: release is attributable to one exact data state even while
+    #: ingestion keeps appending.
+    snapshot_version: Optional[int] = None
 
     def itemset_set(self) -> Set[Itemset]:
         """The published itemsets as a set (FNR computation)."""

@@ -35,6 +35,38 @@ def canonical_itemset(items: Iterable[int]) -> Itemset:
     return tuple(sorted({int(item) for item in items}))
 
 
+def _merge_csr(
+    tids_a: np.ndarray,
+    offsets_a: np.ndarray,
+    tids_b: np.ndarray,
+    offsets_b: np.ndarray,
+    tid_offset_b: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two CSR inverted indexes over the same item vocabulary.
+
+    ``b``'s tids are shifted by ``tid_offset_b`` (the number of
+    transactions in ``a``), so per-item concatenation ``a ⧺ b`` stays
+    sorted without any comparison work.  Both inputs are scattered into
+    one flat array in O(total) with no Python-level per-item loop.
+    """
+    counts_a = np.diff(offsets_a)
+    counts_b = np.diff(offsets_b)
+    offsets = np.zeros_like(offsets_a)
+    np.cumsum(counts_a + counts_b, out=offsets[1:])
+    merged = np.empty(tids_a.size + tids_b.size, dtype=np.int64)
+    within_a = np.arange(tids_a.size, dtype=np.int64) - np.repeat(
+        offsets_a[:-1], counts_a
+    )
+    merged[np.repeat(offsets[:-1], counts_a) + within_a] = tids_a
+    within_b = np.arange(tids_b.size, dtype=np.int64) - np.repeat(
+        offsets_b[:-1], counts_b
+    )
+    merged[np.repeat(offsets[:-1] + counts_a, counts_b) + within_b] = (
+        tids_b + tid_offset_b
+    )
+    return merged, offsets
+
+
 class TransactionDatabase:
     """An immutable set-valued dataset ``D = [t_1, …, t_N]``, ``t_i ⊆ I``.
 
@@ -281,6 +313,54 @@ class TransactionDatabase:
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
+    def extended(self, delta: "TransactionDatabase") -> "TransactionDatabase":
+        """Copy-on-write concatenation ``self ⧺ delta``.
+
+        Returns a *new* database whose transactions are this database's
+        followed by ``delta``'s; both inputs are left untouched (the
+        immutability contract holds — streaming callers advance by
+        replacing their reference).  Row arrays are shared, never
+        copied, and warm derived state carries over instead of being
+        rebuilt from scratch:
+
+        * the item-support cache, when built, is extended by adding
+          ``delta``'s supports;
+        * the CSR inverted index, when built, is merged with
+          ``delta``'s in one vectorized scatter pass — per-item
+          tid-lists stay sorted because every appended tid exceeds
+          every existing tid.
+
+        This is the substrate beneath
+        :class:`repro.datasets.stream.TransactionLog` snapshots and
+        the incremental ``extend`` path of the counting backends.
+        """
+        if delta.num_items != self._num_items:
+            raise ValidationError(
+                f"cannot extend a database over {self._num_items} items "
+                f"with a delta over {delta.num_items} items"
+            )
+        combined = TransactionDatabase.__new__(TransactionDatabase)
+        combined._init_from_rows(
+            list(self._rows) + list(delta._rows),
+            self._num_items - 1,
+            self._num_items,
+            self._item_labels,
+        )
+        if self._item_support_cache is not None:
+            combined._item_support_cache = (
+                self._item_support_cache + delta.item_supports()
+            )
+        if self._index_offsets is not None:
+            delta._ensure_inverted_index()
+            combined._index_tids, combined._index_offsets = _merge_csr(
+                self._index_tids,
+                self._index_offsets,
+                delta._index_tids,
+                delta._index_offsets,
+                self.num_transactions,
+            )
+        return combined
+
     def project(self, items: Iterable[int]) -> "TransactionDatabase":
         """Project every transaction onto ``items`` (paper Section 4.1).
 

@@ -18,6 +18,15 @@ This package is the data-access seam of the library.  Layering:
    serving repeated ``release(k, epsilon)`` calls; the repeated-query
    serving layer the ROADMAP's production north-star asks for.
 
+Streaming: every backend also implements ``extend(delta)`` —
+incremental append of new transactions (packed-bitmap row extension,
+tail-shard growth, oracle append, snapshot-scoped cache invalidation)
+that is support-for-support identical to a cold rebuild on the
+concatenated database.  Sessions ride on it via
+:meth:`PrivBasisSession.ingest`, pinning a snapshot version on every
+release; the append-only source of truth is
+:class:`repro.datasets.stream.TransactionLog`.
+
 Choosing a backend: :class:`BitmapBackend` for anything that fits one
 core comfortably; :class:`ShardedBackend` when ``N`` reaches millions
 and sweeps dominate latency; always a :class:`PrivBasisSession` when

@@ -71,6 +71,43 @@ class CountingBackend(abc.ABC):
         """``|I|``, the vocabulary size."""
         return self.database.num_items
 
+    # -- streaming ingestion -------------------------------------------
+    @abc.abstractmethod
+    def extend(self, delta: TransactionDatabase) -> None:
+        """Advance to counting over ``database ⧺ delta`` incrementally.
+
+        After the call, :attr:`database` is the concatenated database
+        (a fresh immutable object sharing rows with both inputs) and
+        every primitive answers over it — *support-for-support
+        identical* to a cold rebuild on the concatenation, which the
+        streaming equivalence suite pins against
+        :class:`~repro.engine.naive.NaiveBackend`.  Implementations
+        reuse their warm state (packed bitmap rows are extended, tail
+        shards grow, memo caches are invalidated per snapshot) rather
+        than rebuilding it, which is what makes a live ingest feed
+        affordable.
+
+        Not thread-safe: callers that serve concurrent queries must
+        serialize ``extend`` against them, exactly as the service does
+        with its per-dataset lock.
+        """
+
+    def _validate_delta(
+        self, delta: TransactionDatabase
+    ) -> TransactionDatabase:
+        """Shared :meth:`extend` argument check for implementations."""
+        if not isinstance(delta, TransactionDatabase):
+            raise ValidationError(
+                f"extend() takes a TransactionDatabase delta, "
+                f"got {type(delta).__name__}"
+            )
+        if delta.num_items != self.num_items:
+            raise ValidationError(
+                f"delta has num_items={delta.num_items}, backend counts "
+                f"over {self.num_items}"
+            )
+        return delta
+
     # -- the four counting primitives ----------------------------------
     @abc.abstractmethod
     def item_supports(self) -> np.ndarray:

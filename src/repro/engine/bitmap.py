@@ -59,6 +59,27 @@ class BitmapBackend(CountingBackend):
     def database(self) -> TransactionDatabase:
         return self._database
 
+    # -- streaming ingestion --------------------------------------------
+    def extend(self, delta: TransactionDatabase) -> None:
+        """Append ``delta`` by extending packed rows, not rebuilding.
+
+        Every memoized :class:`ItemBitmaps` pool grows in place by
+        packing only the new transactions (see
+        :meth:`ItemBitmaps.extend`), the item-support vector is
+        advanced by adding ``delta``'s supports, and the database
+        reference moves to the copy-on-write concatenation — so a warm
+        backend stays warm across an ingest batch.
+        """
+        self._validate_delta(delta)
+        extended = self._database.extended(delta)
+        for pool in self._pools.values():
+            pool.extend(delta)
+        if self._item_supports is not None:
+            self._item_supports = (
+                self._item_supports + delta.item_supports()
+            )
+        self._database = extended
+
     # -- bitmap pooling -------------------------------------------------
     def bitmaps(self, items: Sequence[int]) -> ItemBitmaps:
         """A (memoized) packed bitmap pool over exactly ``items``."""

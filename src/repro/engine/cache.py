@@ -1,8 +1,11 @@
 """Memoizing backend wrapper — the cache behind a serving session.
 
 All four counting primitives (plus the exact top-k oracle) are pure
-functions of the immutable database, so their results can be memoized
-indefinitely.  :class:`CachedBackend` wraps any inner
+functions of one immutable database *snapshot*, so their results can
+be memoized until the data advances: a streaming append
+(:meth:`CachedBackend.extend`) bumps the snapshot version and drops
+every memo, while the inner backend's warm structures survive the
+append incrementally.  :class:`CachedBackend` wraps any inner
 :class:`~repro.engine.backend.CountingBackend` and keeps:
 
 * the item-support vector (built once);
@@ -86,6 +89,11 @@ class CachedBackend(CountingBackend):
         self._topk_cache: Dict[Tuple[int, Optional[int]], object] = {}
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
+        #: Monotonic count of :meth:`extend` calls — every memoized
+        #: entry is implicitly scoped to this snapshot version, and an
+        #: append bumps it while dropping the now-stale memos (so it
+        #: doubles as the invalidation count for telemetry).
+        self._snapshot_version = 0
 
     @property
     def inner(self) -> CountingBackend:
@@ -95,6 +103,27 @@ class CachedBackend(CountingBackend):
     @property
     def database(self) -> TransactionDatabase:
         return self._inner.database
+
+    @property
+    def snapshot_version(self) -> int:
+        """How many times this cache has been advanced by an append."""
+        return self._snapshot_version
+
+    # -- streaming ingestion -------------------------------------------
+    def extend(self, delta: TransactionDatabase) -> None:
+        """Append ``delta`` through the inner backend, scoped safely.
+
+        Every memoized result is a function of one database snapshot,
+        so an append *must* invalidate them — a stale bin histogram
+        would silently misprice every later release.  The inner
+        backend's warm state (extended bitmap pools, grown tail
+        shards) survives; only this wrapper's memos are dropped, and
+        the snapshot version advances so callers can tell which data
+        state an answer came from.
+        """
+        self._inner.extend(delta)
+        self.clear()
+        self._snapshot_version += 1
 
     # -- stats ----------------------------------------------------------
     def _record(self, kind: str, hit: bool) -> None:

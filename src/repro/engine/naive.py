@@ -39,6 +39,14 @@ class NaiveBackend(CountingBackend):
     def database(self) -> TransactionDatabase:
         return self._database
 
+    def extend(self, delta: TransactionDatabase) -> None:
+        """Oracle append: extend the frozenset list, nothing clever."""
+        self._validate_delta(delta)
+        self._database = self._database.extended(delta)
+        self._transactions.extend(
+            frozenset(transaction) for transaction in delta
+        )
+
     def item_supports(self) -> np.ndarray:
         counts = np.zeros(self._database.num_items, dtype=np.int64)
         for transaction in self._transactions:

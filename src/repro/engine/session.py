@@ -18,12 +18,23 @@ that would exceed it (sequential composition across the session's
 lifetime).  When no limit is set the ledger is informational, which
 matches the common deployment where an external budget service owns
 the global accounting.
+
+Streaming: the session is **snapshot-aware**.  It can be fed a live
+:class:`~repro.datasets.stream.TransactionLog` (or raw transaction
+batches via :meth:`PrivBasisSession.ingest`), advancing its warm
+backend incrementally instead of rebuilding, and every release pins
+and reports the snapshot version it was computed on
+(``result.snapshot_version``).  The ε ledger is deliberately
+*unchanged* by ingestion — DP accounting composes across all releases
+by the same principal regardless of which snapshot each one saw; see
+``docs/streaming.md`` for the argument.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.datasets.stream import TransactionLog
 from repro.datasets.transactions import TransactionDatabase
 from repro.engine.backend import CountingBackend, resolve_backend
 from repro.engine.cache import CachedBackend
@@ -44,7 +55,11 @@ class PrivBasisSession:
     ----------
     database:
         The transaction database (or a ready
-        :class:`~repro.engine.backend.CountingBackend` over it).
+        :class:`~repro.engine.backend.CountingBackend` over it).  A
+        :class:`~repro.datasets.stream.TransactionLog` is also
+        accepted: the session starts on the log's latest snapshot and
+        stays attached, so :meth:`ingest` appends through the log and
+        :meth:`sync` catches up with appends made by other writers.
     backend:
         Optional explicit backend; defaults to
         :class:`~repro.engine.bitmap.BitmapBackend`.  It is wrapped in
@@ -69,6 +84,13 @@ class PrivBasisSession:
     ) -> None:
         from repro.dp.rng import ensure_rng
 
+        self._log: Optional[TransactionLog] = None
+        self._snapshot_version = 0
+        if isinstance(database, TransactionLog):
+            self._log = database
+            pinned = database.snapshot()
+            database = pinned.database
+            self._snapshot_version = pinned.version
         inner = resolve_backend(database, backend)
         self._backend: CachedBackend = (
             inner
@@ -107,6 +129,67 @@ class PrivBasisSession:
     def num_releases(self) -> int:
         return self._num_releases
 
+    @property
+    def snapshot_version(self) -> int:
+        """The data snapshot all new releases are computed on."""
+        return self._snapshot_version
+
+    @property
+    def log(self) -> Optional[TransactionLog]:
+        """The attached transaction log, if the session follows one."""
+        return self._log
+
+    # -- streaming ingestion --------------------------------------------
+    def ingest(self, transactions) -> int:
+        """Append a batch of transactions; returns the new version.
+
+        ``transactions`` is an iterable of transactions (each an
+        iterable of item ids within the current vocabulary) or a ready
+        :class:`TransactionDatabase` delta.  The warm backend advances
+        incrementally — bitmap rows are extended, tail shards grow,
+        and the caching layer performs its snapshot-scoped
+        invalidation — so ingestion costs O(Δ), not a cold rebuild.
+
+        No privacy budget is consumed: ingestion only changes which
+        exact data later mechanisms read.  Already-published releases
+        keep the (now historical) snapshot version they pinned.
+        """
+        if self._log is not None:
+            self._log.append(transactions)
+            return self.sync()
+        if isinstance(transactions, TransactionDatabase):
+            delta = transactions
+        else:
+            delta = TransactionDatabase(
+                transactions, num_items=self.database.num_items
+            )
+        if delta.num_transactions == 0:
+            raise ValidationError(
+                "cannot ingest an empty batch (versions must advance "
+                "the data); skip the call instead"
+            )
+        self._backend.extend(delta)
+        self._snapshot_version += 1
+        return self._snapshot_version
+
+    def sync(self) -> int:
+        """Catch up with appends made to the attached log; returns the
+        version now served.
+
+        A no-op (returning the current version) when the session is
+        not attached to a :class:`TransactionLog` or is already
+        current.  One backend ``extend`` covers any number of missed
+        log versions.
+        """
+        if self._log is None:
+            return self._snapshot_version
+        target = self._log.version
+        if target > self._snapshot_version:
+            delta = self._log.delta(self._snapshot_version, target)
+            self._backend.extend(delta)
+            self._snapshot_version = target
+        return self._snapshot_version
+
     def cache_info(self) -> Dict[str, Dict[str, int]]:
         """Hit/miss counters of the shared cache (telemetry)."""
         return self._backend.cache_info()
@@ -127,6 +210,8 @@ class PrivBasisSession:
             "num_releases": self._num_releases,
             "epsilon_spent": self._epsilon_spent,
             "epsilon_limit": self._epsilon_limit,
+            "snapshot_version": self._snapshot_version,
+            "num_transactions": self.database.num_transactions,
             "cache": self._backend.cache_info(),
         }
         pools_built = getattr(inner, "pools_built", None)
@@ -164,10 +249,18 @@ class PrivBasisSession:
         accepts (``eta``, ``alphas``, ``noise``, …) and returns its
         :class:`~repro.core.result.PrivBasisResult`.  Fresh noise is
         drawn per call; only exact intermediates are reused.
+
+        The release pins the session's current snapshot version and
+        reports it on ``result.snapshot_version``, so even under a
+        live ingest feed every published output is attributable to one
+        exact data state.  (Callers interleaving ``ingest`` from other
+        threads must serialize against releases, as the service's
+        per-dataset lock does.)
         """
         from repro.core.privbasis import privbasis
 
         self._charge(epsilon)
+        pinned_version = self._snapshot_version
         result = privbasis(
             self.database,
             k=k,
@@ -176,6 +269,7 @@ class PrivBasisSession:
             rng=self._rng if rng is None else rng,
             **kwargs,
         )
+        result.snapshot_version = pinned_version
         self._epsilon_spent += epsilon
         self._num_releases += 1
         return result

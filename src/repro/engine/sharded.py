@@ -101,6 +101,50 @@ class ShardedBackend(CountingBackend):
     def num_shards(self) -> int:
         return len(self._ensure_shards())
 
+    # -- streaming ingestion --------------------------------------------
+    def extend(self, delta: TransactionDatabase) -> None:
+        """Append ``delta`` by growing the tail shard, not resharding.
+
+        Existing full shards are untouched (their warm per-shard
+        indexes stay valid); the last, partially filled shard is
+        rebuilt with the new rows folded in (rows shared, ≤ one
+        shard's worth of work), and any remaining delta rows form new
+        tail shards.  The cached item-support vector is advanced by
+        adding ``delta``'s supports.
+        """
+        self._validate_delta(delta)
+        extended = self._database.extended(delta)
+        if self._shards is not None and delta.num_transactions:
+            pending = [
+                delta.transaction_array(index)
+                for index in range(delta.num_transactions)
+            ]
+            last = self._shards[-1]
+            if last.num_transactions < self._shard_size:
+                take = min(
+                    self._shard_size - last.num_transactions, len(pending)
+                )
+                merged = [
+                    last.transaction_array(index)
+                    for index in range(last.num_transactions)
+                ] + pending[:take]
+                self._shards[-1] = TransactionDatabase.from_sorted_rows(
+                    merged, self._database.num_items
+                )
+                pending = pending[take:]
+            for start in range(0, len(pending), self._shard_size):
+                self._shards.append(
+                    TransactionDatabase.from_sorted_rows(
+                        pending[start: start + self._shard_size],
+                        self._database.num_items,
+                    )
+                )
+        if self._item_supports is not None:
+            self._item_supports = (
+                self._item_supports + delta.item_supports()
+            )
+        self._database = extended
+
     # -- shard plumbing -------------------------------------------------
     def _ensure_shards(self) -> List[TransactionDatabase]:
         """Build the shard databases lazily (rows are shared, not copied)."""

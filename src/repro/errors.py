@@ -85,6 +85,24 @@ class UnknownTenantError(ValidationError):
         super().__init__(f"unknown tenant {tenant_id!r}")
 
 
+class IngestNotAllowedError(ReproError):
+    """A tenant without ingest rights tried to append transactions.
+
+    Raised (and mapped to HTTP 403) when a tenant whose registry entry
+    sets ``"ingest": false`` calls ``POST /v1/ingest`` — read-only
+    analysts may release over a dataset but not feed it.
+    """
+
+    wire_code = "ingest_forbidden"
+
+    def __init__(self, tenant_id: str) -> None:
+        self.tenant_id = str(tenant_id)
+        super().__init__(
+            f"tenant {tenant_id!r} is not allowed to ingest into its "
+            f"dataset (configured read-only)"
+        )
+
+
 class OverloadedError(ReproError):
     """The service's admission controller rejected a request.
 
@@ -123,7 +141,7 @@ def error_to_wire(error: BaseException) -> Dict[str, Any]:
     if isinstance(error, BudgetExceededError):
         payload["requested"] = error.requested
         payload["remaining"] = error.remaining
-    if isinstance(error, UnknownTenantError):
+    if isinstance(error, (UnknownTenantError, IngestNotAllowedError)):
         payload["tenant"] = error.tenant_id
     if isinstance(error, OverloadedError):
         payload["in_flight"] = error.in_flight

@@ -9,12 +9,16 @@ Usage::
     python -m repro.experiments.cli datasets         # dataset summary
     python -m repro.experiments.cli all
     python -m repro.experiments.cli serve --port 8008  # network service
+    python -m repro.experiments.cli ingest --tenant alice feed.dat
 
 Dataset scale is controlled by ``REPRO_FULL_SCALE=1`` (paper-exact N)
 and the ε grid by ``--profile`` / ``REPRO_BENCH_PROFILE``.
 
 ``serve`` hands the remaining arguments to ``python -m repro.service``
 (the multi-tenant release service) — see that module for its flags.
+``ingest`` streams a FIMI ``.dat`` transaction file (or stdin) into a
+*running* service via ``POST /v1/ingest``, batched so each request
+stays under the wire limit.
 """
 
 from __future__ import annotations
@@ -40,6 +44,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.__main__ import main as serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["ingest"]:
+        return _run_ingest(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.cli",
         description="Regenerate PrivBasis paper tables and figures.",
@@ -160,6 +166,77 @@ def _plots_for(result) -> str:
         "vs epsilon",
     )
     return fnr + "\n\n" + re
+
+
+def _run_ingest(argv: list[str]) -> int:
+    """Stream a FIMI transaction file into a running service.
+
+    Reads ``FILE`` (one transaction per line, whitespace-separated
+    item ids; ``-`` for stdin), splits it into ``--batch-size`` chunks
+    and POSTs each to ``/v1/ingest`` over one keep-alive connection.
+    Prints the dataset's final snapshot version and size.
+    """
+    import asyncio
+
+    from repro.service.protocol import MAX_INGEST_TRANSACTIONS
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.cli ingest",
+        description="Append a FIMI .dat feed to a running service.",
+    )
+    parser.add_argument(
+        "file", help="FIMI transaction file ('-' for stdin)"
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="service address")
+    parser.add_argument("--port", type=int, default=8008,
+                        help="service port")
+    parser.add_argument(
+        "--tenant", required=True,
+        help="tenant id to ingest as (needs ingest permission)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=1_000,
+        help=f"transactions per request "
+             f"(1..{MAX_INGEST_TRANSACTIONS})",
+    )
+    arguments = parser.parse_args(argv)
+    if not 1 <= arguments.batch_size <= MAX_INGEST_TRANSACTIONS:
+        parser.error(
+            f"--batch-size must be in [1, {MAX_INGEST_TRANSACTIONS}]"
+        )
+
+    from repro.datasets.fimi import read_fimi
+    from repro.service.client import ServiceClient
+
+    database = (
+        read_fimi(sys.stdin)
+        if arguments.file == "-"
+        else read_fimi(arguments.file)
+    )
+    rows = [list(transaction) for transaction in database]
+    if not rows:
+        print("nothing to ingest (empty feed)")
+        return 0
+
+    async def push() -> dict:
+        async with ServiceClient(
+            arguments.host, arguments.port, tenant=arguments.tenant
+        ) as client:
+            info: dict = {}
+            for start in range(0, len(rows), arguments.batch_size):
+                info = await client.ingest(
+                    rows[start: start + arguments.batch_size]
+                )
+            return info
+
+    info = asyncio.run(push())
+    print(
+        f"ingested {len(rows)} transactions into "
+        f"{info['dataset']!r}: snapshot v{info['snapshot_version']}, "
+        f"N={info['num_transactions']}"
+    )
+    return 0
 
 
 def _run_compare(arguments) -> None:

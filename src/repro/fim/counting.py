@@ -84,12 +84,15 @@ class ItemBitmaps:
         )
         for position, item in enumerate(self._items):
             rows[position, database.tidlist(item)] = True
-        # Shape: (num_items_in_pool, ceil(N / 8)) of uint8.
-        self._packed = (
+        # Shape: (num_items_in_pool, ceil(N / 8)) of uint8.  ``_packed``
+        # is a column-slice view into ``_buffer``, whose spare capacity
+        # lets :meth:`extend` append bytes in place (amortized O(Δ)).
+        self._buffer = (
             np.packbits(rows, axis=1)
             if self._items
             else np.zeros((0, 0), dtype=np.uint8)
         )
+        self._packed = self._buffer
 
     @property
     def items(self) -> Tuple[int, ...]:
@@ -99,6 +102,55 @@ class ItemBitmaps:
     @property
     def num_transactions(self) -> int:
         return self._num_transactions
+
+    def extend(self, delta: TransactionDatabase) -> None:
+        """Grow every packed row in place by ``delta``'s transactions.
+
+        The streaming append path: instead of repacking ``N + ΔN``
+        bits per item from scratch, only the new transactions are
+        packed and written into spare buffer capacity — amortized
+        O(|pool| · ΔN/8) bytes touched (the buffer doubles when it
+        fills, so full-row copies are rare).  When the existing
+        transaction count is not byte-aligned, the final partially
+        filled byte of each row is unpacked, fused with the new bits,
+        and repacked, so the dense ``np.packbits`` layout (and with it
+        every AND+popcount kernel) is preserved exactly.
+        """
+        count = delta.num_transactions
+        if count == 0:
+            return
+        if not self._items:
+            self._num_transactions += count
+            return
+        delta_bits = np.zeros((len(self._items), count), dtype=bool)
+        for position, item in enumerate(self._items):
+            delta_bits[position, delta.tidlist(item)] = True
+        old_n = self._num_transactions
+        new_n = old_n + count
+        old_cols = (old_n + 7) // 8
+        new_cols = (new_n + 7) // 8
+        if new_cols > self._buffer.shape[1]:
+            capacity = max(new_cols, 2 * self._buffer.shape[1])
+            buffer = np.zeros(
+                (len(self._items), capacity), dtype=np.uint8
+            )
+            buffer[:, :old_cols] = self._packed
+            self._buffer = buffer
+        partial = old_n % 8
+        if partial:
+            boundary = np.unpackbits(
+                self._packed[:, old_cols - 1: old_cols], axis=1
+            )[:, :partial].astype(bool)
+            tail = np.packbits(
+                np.concatenate([boundary, delta_bits], axis=1), axis=1
+            )
+            self._buffer[:, old_cols - 1: new_cols] = tail
+        else:
+            self._buffer[:, old_cols: new_cols] = np.packbits(
+                delta_bits, axis=1
+            )
+        self._num_transactions = new_n
+        self._packed = self._buffer[:, :new_cols]
 
     def row(self, item: int) -> np.ndarray:
         """Packed membership row for ``item`` (read-only view)."""

@@ -17,6 +17,12 @@ Layer map (see ``docs/architecture.md`` for the full picture)::
 Privacy posture: tenants share only *exact* counting state; budgets
 are per-tenant and noise is drawn fresh per release (requests are
 seed-less by contract) — see ``docs/privacy-accounting.md``.
+
+Streaming: ``POST /v1/ingest`` appends transactions through the warm
+session's incremental ``extend`` path (serialized with releases per
+dataset), ``GET /v1/snapshot`` reports the served data version, and
+every release response carries the ``snapshot_version`` it was
+computed on — see ``docs/streaming.md``.
 """
 
 from repro.service.app import PrivBasisService

@@ -68,7 +68,8 @@ async def _run(arguments: argparse.Namespace) -> int:
         f"({len(registry)} tenants: {', '.join(registry.tenant_ids())})"
     )
     print("endpoints: POST /v1/release, POST /v1/release_batch, "
-          "GET /v1/budget, GET /healthz, GET /metrics")
+          "POST /v1/ingest, GET /v1/snapshot, GET /v1/budget, "
+          "GET /healthz, GET /metrics")
     try:
         await service.serve_forever()
     except asyncio.CancelledError:

@@ -20,7 +20,17 @@ One :class:`PrivBasisService` fronts one
   flight (including time queued on the per-dataset lock); beyond that
   the service answers 429 immediately instead of queueing unboundedly.
 
+* **Ingestion is serialized with releases, never with noise.**
+  ``POST /v1/ingest`` appends transactions to a tenant's dataset
+  through the warm session's incremental ``extend`` path, under the
+  same per-dataset lock releases use — so every release sees one
+  consistent snapshot and reports its version on the wire.  A cold
+  dataset hit by concurrent ingests/releases still builds once: both
+  paths acquire the session through the coalescer.  Tenants whose
+  config sets ``"ingest": false`` get HTTP 403 ``ingest_forbidden``.
+
 Endpoints: ``POST /v1/release``, ``POST /v1/release_batch``,
+``POST /v1/ingest``, ``GET /v1/snapshot?tenant=…``,
 ``GET /v1/budget?tenant=…``, ``GET /healthz``, ``GET /metrics``.
 """
 
@@ -36,6 +46,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 from repro.engine.session import PrivBasisSession
 from repro.errors import (
     BudgetExceededError,
+    IngestNotAllowedError,
     OverloadedError,
     ReproError,
     UnknownTenantError,
@@ -47,6 +58,7 @@ from repro.service.coalesce import Coalescer
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     parse_batch_request,
+    parse_ingest_request,
     parse_release_request,
     result_to_wire,
 )
@@ -61,8 +73,8 @@ DEFAULT_MAX_INFLIGHT = 8
 #: "unknown" so a path-spraying client cannot grow per-route state
 #: without bound.
 ROUTES = frozenset(
-    {"/healthz", "/metrics", "/v1/budget", "/v1/release",
-     "/v1/release_batch"}
+    {"/healthz", "/metrics", "/v1/budget", "/v1/ingest", "/v1/release",
+     "/v1/release_batch", "/v1/snapshot"}
 )
 
 
@@ -82,7 +94,7 @@ def _status_for(error: ReproError) -> int:
     """Map a repro exception onto its HTTP status."""
     if isinstance(error, UnknownTenantError):
         return 404
-    if isinstance(error, BudgetExceededError):
+    if isinstance(error, (BudgetExceededError, IngestNotAllowedError)):
         return 403
     if isinstance(error, OverloadedError):
         return 429
@@ -304,6 +316,69 @@ class PrivBasisService:
             "results": [result_to_wire(result) for result in results],
         }
 
+    async def handle_ingest(
+        self, body: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """``POST /v1/ingest`` — append transactions to a dataset.
+
+        The append goes through the warm session's incremental
+        ``extend`` path under the dataset's release lock, so it is
+        serialized with in-flight releases (each of which pins the
+        snapshot version it ran on) and a cold dataset is still built
+        exactly once via the coalescer.  No ε is charged: ingestion
+        changes which exact data later mechanisms read, it publishes
+        nothing.
+        """
+        tenant = self._tenant_for(body)
+        if not tenant.ingest:
+            raise IngestNotAllowedError(tenant.tenant_id)
+        transactions = parse_ingest_request(body)
+        self._admit()
+        try:
+            session = await self.get_session(tenant.dataset)
+
+            def append() -> Tuple[int, int]:
+                version = session.ingest(transactions)
+                return version, session.database.num_transactions
+
+            version, total = await self._run_locked(
+                tenant.dataset, append
+            )
+        finally:
+            self._release_slot()
+        return {
+            "tenant": tenant.tenant_id,
+            "dataset": tenant.dataset,
+            "snapshot_version": version,
+            "num_transactions": total,
+            "appended": len(transactions),
+        }
+
+    async def handle_snapshot(self, tenant_id: str) -> Dict[str, Any]:
+        """``GET /v1/snapshot?tenant=…`` — the dataset's data state.
+
+        Reports the snapshot version and size the tenant's dataset
+        currently serves.  A cold dataset is built (coalesced) rather
+        than guessed at, and the read takes the dataset's lock so a
+        concurrent ingest can never produce a torn version/size pair
+        — the answer is always the version the next release would pin.
+        """
+        if not tenant_id:
+            raise ValidationError(
+                "snapshot queries need a ?tenant=<id> parameter"
+            )
+        tenant = self._registry.get(tenant_id)
+        session = await self.get_session(tenant.dataset)
+        async with self._lock_for(tenant.dataset):
+            return {
+                "tenant": tenant.tenant_id,
+                "dataset": tenant.dataset,
+                "snapshot_version": session.snapshot_version,
+                "num_transactions": session.database.num_transactions,
+                "num_items": session.database.num_items,
+                "num_releases": session.num_releases,
+            }
+
     def handle_budget(self, tenant_id: str) -> Dict[str, Any]:
         """``GET /v1/budget?tenant=…`` — the tenant's ledger snapshot."""
         if not tenant_id:
@@ -349,6 +424,15 @@ class PrivBasisService:
                 return 200, self.handle_budget(
                     request.query.get("tenant", "")
                 )
+            if request.path == "/v1/snapshot" and request.method == "GET":
+                return 200, await self.handle_snapshot(
+                    request.query.get("tenant", "")
+                )
+            if request.path == "/v1/ingest" and request.method == "POST":
+                body = request.json()
+                if not isinstance(body, Mapping):
+                    raise ValidationError("request body must be an object")
+                return 200, await self.handle_ingest(body)
             if request.path == "/v1/release" and request.method == "POST":
                 body = request.json()
                 if not isinstance(body, Mapping):

@@ -11,11 +11,13 @@ client exactly like library code does around
 from __future__ import annotations
 
 import asyncio
+import operator
 from typing import Any, Dict, List, Optional
 from urllib.parse import quote
 
 from repro.errors import (
     BudgetExceededError,
+    IngestNotAllowedError,
     OverloadedError,
     ReproError,
     UnknownTenantError,
@@ -49,6 +51,8 @@ def _raise_for(status: int, payload: Any) -> None:
         )
     if code == "unknown_tenant":
         raise UnknownTenantError(payload.get("tenant", ""))
+    if code == "ingest_forbidden":
+        raise IngestNotAllowedError(payload.get("tenant", ""))
     if code == "overloaded":
         raise OverloadedError(
             payload.get("in_flight", 0), payload.get("limit", 0)
@@ -56,6 +60,26 @@ def _raise_for(status: int, payload: Any) -> None:
     if code in ("validation_error", "protocol_error"):
         raise ValidationError(message or f"HTTP {status}")
     raise ServiceHTTPError(status, payload)
+
+
+def _item_id(item: Any) -> int:
+    """Coerce an ingest item id, rejecting floats and bools.
+
+    ``operator.index`` admits every true integer type (including
+    ``numpy`` ints, which ``json`` cannot serialize raw) while
+    refusing lossy inputs the server would reject anyway — the client
+    should not pre-corrupt a feed the wire contract protects.
+    """
+    if isinstance(item, bool):
+        raise ValidationError(
+            f"transaction items must be integers, got {item!r}"
+        )
+    try:
+        return operator.index(item)
+    except TypeError:
+        raise ValidationError(
+            f"transaction items must be integers, got {item!r}"
+        )
 
 
 class ServiceClient:
@@ -176,6 +200,40 @@ class ServiceClient:
             "requests": list(requests),
         }
         return await self._roundtrip("POST", "/v1/release_batch", body)
+
+    async def ingest(
+        self,
+        transactions: List[List[int]],
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """``POST /v1/ingest`` — append transactions to the dataset.
+
+        Returns the new ``snapshot_version`` and total transaction
+        count.  Items must be true integers (``numpy`` ints are fine)
+        — floats and bools are rejected client-side, mirroring the
+        server's wire contract, rather than silently coerced.  Like
+        every POST, an ingest is **never** resent on a dropped
+        connection (a replay would append the batch twice); callers
+        that lose the response should consult :meth:`snapshot` to see
+        whether the append landed.
+        """
+        body: Dict[str, Any] = {
+            "tenant": self._tenant_id(tenant),
+            "transactions": [
+                [_item_id(item) for item in transaction]
+                for transaction in transactions
+            ],
+        }
+        return await self._roundtrip("POST", "/v1/ingest", body)
+
+    async def snapshot(
+        self, tenant: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """``GET /v1/snapshot`` — the dataset's current data state."""
+        tenant_id = quote(self._tenant_id(tenant), safe="")
+        return await self._roundtrip(
+            "GET", f"/v1/snapshot?tenant={tenant_id}"
+        )
 
     async def budget(self, tenant: Optional[str] = None) -> Dict[str, Any]:
         """``GET /v1/budget`` for this client's tenant."""

@@ -21,6 +21,7 @@ from repro.errors import ValidationError
 __all__ = [
     "parse_release_request",
     "parse_batch_request",
+    "parse_ingest_request",
     "result_to_wire",
 ]
 
@@ -39,6 +40,15 @@ MAX_K = 10_000
 
 #: Upper bound on requests per batch.
 MAX_BATCH = 256
+
+#: Upper bound on transactions per ingest request — bounds the work one
+#: ``POST /v1/ingest`` can force onto the shared per-dataset lock;
+#: bigger feeds split into multiple requests (the CLI batches for you).
+MAX_INGEST_TRANSACTIONS = 10_000
+
+#: Upper bound on items per ingested transaction (real baskets are
+#: tens of items; thousands signals a malformed or adversarial feed).
+MAX_TRANSACTION_ITEMS = 1_000
 
 
 def _require_mapping(body: Any, what: str) -> Mapping[str, Any]:
@@ -121,17 +131,78 @@ def parse_batch_request(body: Any) -> List[Dict[str, Any]]:
     return [parse_release_request(entry) for entry in requests]
 
 
+def parse_ingest_request(body: Any) -> List[List[int]]:
+    """Validate an ingest body's ``transactions`` list.
+
+    Each transaction is a (possibly empty) JSON array of non-negative
+    integer item ids.  Size limits are enforced here
+    (:data:`MAX_INGEST_TRANSACTIONS`, :data:`MAX_TRANSACTION_ITEMS`);
+    vocabulary bounds are checked downstream against the dataset's
+    fixed ``num_items``, so an out-of-vocabulary item still answers
+    ``validation_error`` without this layer knowing the dataset.  The
+    whole batch is validated before any of it is appended —
+    ingestion, like batches, is all-or-nothing.
+    """
+    body = _require_mapping(body, "ingest request")
+    unknown = set(body) - {"tenant", "transactions"}
+    if unknown:
+        raise ValidationError(
+            f"unknown ingest request keys {sorted(unknown)}; "
+            f"allowed: ['tenant', 'transactions']"
+        )
+    transactions = body.get("transactions")
+    if not isinstance(transactions, list) or not transactions:
+        raise ValidationError(
+            "ingest request needs a non-empty 'transactions' list"
+        )
+    if len(transactions) > MAX_INGEST_TRANSACTIONS:
+        raise ValidationError(
+            f"ingest batch of {len(transactions)} transactions exceeds "
+            f"the maximum {MAX_INGEST_TRANSACTIONS}; split the feed "
+            f"into smaller requests"
+        )
+    parsed: List[List[int]] = []
+    for index, transaction in enumerate(transactions):
+        if not isinstance(transaction, list):
+            raise ValidationError(
+                f"transactions[{index}] must be an array of item ids, "
+                f"got {type(transaction).__name__}"
+            )
+        if len(transaction) > MAX_TRANSACTION_ITEMS:
+            raise ValidationError(
+                f"transactions[{index}] has {len(transaction)} items; "
+                f"the maximum is {MAX_TRANSACTION_ITEMS}"
+            )
+        row: List[int] = []
+        for item in transaction:
+            if isinstance(item, bool) or not isinstance(item, int):
+                raise ValidationError(
+                    f"transactions[{index}] items must be integers, "
+                    f"got {item!r}"
+                )
+            if item < 0:
+                raise ValidationError(
+                    f"transactions[{index}] has negative item id {item}"
+                )
+            row.append(item)
+        parsed.append(row)
+    return parsed
+
+
 def result_to_wire(result: PrivateFIMResult) -> Dict[str, Any]:
     """Serialize a release result into the response payload.
 
     Only the published statistics go on the wire: itemsets with their
-    noisy counts/frequencies, plus ``k``/``epsilon``/``method`` echo.
-    Diagnostics like the basis set or the budget ledger stay
-    server-side — they are either derivable from the output or
-    internal accounting, and the response contract should not depend
-    on which pipeline produced the release.
+    noisy counts/frequencies, plus ``k``/``epsilon``/``method`` echo
+    and — when the serving session pinned one — the
+    ``snapshot_version`` the release was computed on, so a client
+    following a live ingest feed can attribute every output to one
+    exact data state.  Diagnostics like the basis set or the budget
+    ledger stay server-side — they are either derivable from the
+    output or internal accounting, and the response contract should
+    not depend on which pipeline produced the release.
     """
-    return {
+    payload: Dict[str, Any] = {
         "method": result.method,
         "k": result.k,
         "epsilon": result.epsilon,
@@ -144,3 +215,6 @@ def result_to_wire(result: PrivateFIMResult) -> Dict[str, Any]:
             for entry in result.itemsets
         ],
     }
+    if result.snapshot_version is not None:
+        payload["snapshot_version"] = result.snapshot_version
+    return payload

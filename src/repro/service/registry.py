@@ -11,6 +11,11 @@ Tenants sharing a dataset share the *exact* counting substrate (one
 :class:`~repro.engine.session.PrivBasisSession` per dataset, built via
 the coalescer) but never share budgets or randomness: ledgers are
 per-tenant, noise is per-release.
+
+Streaming: each tenant additionally carries an ``ingest`` permission
+(default ``True``) gating ``POST /v1/ingest``; a read-only analyst
+tenant (``"ingest": false``) can release and read snapshots but not
+append — appends answer HTTP 403 ``ingest_forbidden``.
 """
 
 from __future__ import annotations
@@ -27,11 +32,19 @@ __all__ = ["Tenant", "TenantRegistry"]
 
 @dataclass
 class Tenant:
-    """One API tenant: identity, dataset binding, and ε ledger."""
+    """One API tenant: identity, dataset binding, ε ledger, and the
+    ingest permission gating ``POST /v1/ingest``.
+
+    ``ingest`` defaults to ``True`` (the data holder's feed and demo
+    setups append freely); set ``"ingest": false`` in the config to
+    make an analyst tenant read-only — it can still release and read
+    snapshots, but appending answers HTTP 403 ``ingest_forbidden``.
+    """
 
     tenant_id: str
     dataset: str
     epsilon_limit: float
+    ingest: bool = True
     ledger: PrivacyBudget = field(init=False)
 
     def __post_init__(self) -> None:
@@ -53,6 +66,7 @@ class Tenant:
             "tenant": self.tenant_id,
             "dataset": self.dataset,
             "epsilon_limit": self.epsilon_limit,
+            "ingest": self.ingest,
             "ledger": self.ledger.snapshot(),
         }
 
@@ -127,7 +141,7 @@ class TenantRegistry:
                     f"tenant {tenant_id!r} config must be an object, "
                     f"got {entry!r}"
                 )
-            unknown = set(entry) - {"dataset", "epsilon_limit"}
+            unknown = set(entry) - {"dataset", "epsilon_limit", "ingest"}
             if unknown:
                 raise ValidationError(
                     f"tenant {tenant_id!r} has unknown config keys "
@@ -141,7 +155,15 @@ class TenantRegistry:
                     f"tenant {tenant_id!r} needs 'dataset' (str) and "
                     f"'epsilon_limit' (number), got {dict(entry)!r}"
                 )
-            registry.add(Tenant(tenant_id, dataset, epsilon_limit))
+            ingest = entry.get("ingest", True)
+            if not isinstance(ingest, bool):
+                raise ValidationError(
+                    f"tenant {tenant_id!r} 'ingest' must be a JSON "
+                    f"boolean, got {ingest!r}"
+                )
+            registry.add(
+                Tenant(tenant_id, dataset, epsilon_limit, ingest=ingest)
+            )
         if not len(registry):
             raise ValidationError("tenant config defines no tenants")
         return registry

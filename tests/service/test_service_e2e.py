@@ -11,7 +11,11 @@ dataset concurrently, and verify
 * each tenant's ε ledger is charged independently and exactly;
 * a tenant whose ``epsilon_limit`` would be exceeded gets HTTP 403
   with a structured ``budget_exceeded`` payload;
-* admission control answers 429 once ``max_inflight`` is reached.
+* admission control answers 429 once ``max_inflight`` is reached;
+* ``/v1/ingest`` interleaved with ``/v1/release`` coalesces cold
+  starts, serializes against releases (each release reports the
+  snapshot version it pinned), and respects per-tenant ingest
+  permissions.
 
 The registry's ``mushroom`` name is bound to a small synthetic
 database through the injectable ``dataset_loader``, keeping the test
@@ -28,6 +32,7 @@ import pytest
 from repro.datasets.transactions import TransactionDatabase
 from repro.errors import (
     BudgetExceededError,
+    IngestNotAllowedError,
     OverloadedError,
     UnknownTenantError,
     ValidationError,
@@ -277,6 +282,135 @@ class TestAdmissionControl:
                 return service.in_flight
 
         assert asyncio.run(scenario()) == 0
+
+
+class TestStreamingIngest:
+    def test_ingest_advances_snapshot_and_releases_pin_it(self):
+        async def scenario():
+            service, loader = make_service()
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    before = await c.snapshot()
+                    first = await c.release(k=8, epsilon=0.25)
+                    info = await c.ingest([[0, 1, 2], [3, 4], []])
+                    second = await c.release(k=8, epsilon=0.25)
+                    after = await c.snapshot()
+                    budget = await c.budget()
+            return loader, before, first, info, second, after, budget
+
+        loader, before, first, info, second, after, budget = asyncio.run(
+            scenario()
+        )
+        assert loader.calls == 1
+        # The data state advanced exactly once, by exactly the batch.
+        assert before["snapshot_version"] == 0
+        assert info["snapshot_version"] == 1
+        assert info["appended"] == 3
+        assert info["num_transactions"] == (
+            before["num_transactions"] + 3
+        )
+        assert after["snapshot_version"] == 1
+        assert after["num_transactions"] == info["num_transactions"]
+        # Each release reports the snapshot it was computed on.
+        assert first["snapshot_version"] == 0
+        assert second["snapshot_version"] == 1
+        # Ingestion consumed no ε — only the two releases did.
+        assert budget["ledger"]["spent"] == pytest.approx(0.5)
+
+    def test_cold_ingest_and_release_coalesce_to_one_build(self):
+        async def scenario():
+            service, loader = make_service()
+            async with service.serving() as (host, port):
+                async def ingest_once():
+                    async with ServiceClient(
+                        host, port, tenant="bob"
+                    ) as c:
+                        return await c.ingest([[1, 2], [3]])
+
+                release_result, ingest_result = await asyncio.gather(
+                    release_once(host, port, "alice"), ingest_once()
+                )
+                async with ServiceClient(host, port) as client:
+                    metrics = await client.metrics()
+            return loader, release_result, ingest_result, metrics
+
+        loader, release_result, ingest_result, metrics = asyncio.run(
+            scenario()
+        )
+        # One cold build served both the ingest and the release.
+        assert loader.calls == 1
+        assert metrics["coalescer"]["started"] == 1
+        assert metrics["coalescer"]["coalesced"] == 1
+        # The per-dataset lock serialized them: the release saw either
+        # the pre-ingest or post-ingest snapshot, never a torn state.
+        assert release_result["snapshot_version"] in (0, 1)
+        assert ingest_result["snapshot_version"] == 1
+        stats = metrics["datasets"][DATASET]
+        assert stats["snapshot_version"] == 1
+        assert stats["num_transactions"] == 202
+
+    def test_read_only_tenant_gets_403_ingest_forbidden(self):
+        async def scenario():
+            registry = TenantRegistry.from_mapping(
+                {
+                    "feed": {"dataset": DATASET, "epsilon_limit": 5.0},
+                    "analyst": {
+                        "dataset": DATASET,
+                        "epsilon_limit": 5.0,
+                        "ingest": False,
+                    },
+                }
+            )
+            service = PrivBasisService(
+                registry, dataset_loader=CountingLoader()
+            )
+            async with service.serving() as (host, port):
+                async with ServiceClient(
+                    host, port, tenant="analyst"
+                ) as c:
+                    with pytest.raises(IngestNotAllowedError) as info:
+                        await c.ingest([[0, 1]])
+                    snapshot = await c.snapshot()
+                    budget = await c.budget()
+                async with ServiceClient(host, port, tenant="feed") as c:
+                    allowed = await c.ingest([[0, 1]])
+            return info.value, snapshot, budget, allowed
+
+        error, snapshot, budget, allowed = asyncio.run(scenario())
+        assert error.tenant_id == "analyst"
+        # The refused ingest changed nothing; reads still work.
+        assert snapshot["snapshot_version"] == 0
+        assert budget["ingest"] is False
+        assert allowed["snapshot_version"] == 1
+
+    def test_malformed_and_out_of_vocabulary_ingests_are_400(self):
+        async def scenario():
+            service, _ = make_service()
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    with pytest.raises(ValidationError):
+                        await c.ingest([])  # empty batch
+                    with pytest.raises(ValidationError):
+                        await c.ingest([[999]])  # outside |I| = 15
+                    snapshot = await c.snapshot()
+            return snapshot
+
+        snapshot = asyncio.run(scenario())
+        # Neither bad batch advanced the data.
+        assert snapshot["snapshot_version"] == 0
+        assert snapshot["num_transactions"] == 200
+
+    def test_snapshot_requires_known_tenant_parameter(self):
+        async def scenario():
+            service, _ = make_service()
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port) as client:
+                    with pytest.raises(ValidationError):
+                        await client.snapshot(tenant="")
+                    with pytest.raises(UnknownTenantError):
+                        await client.snapshot(tenant="mallory")
+
+        asyncio.run(scenario())
 
 
 class TestWireContract:

@@ -15,6 +15,7 @@ from repro.errors import (
     BudgetExceededError,
     DatasetFormatError,
     EmptySelectionError,
+    IngestNotAllowedError,
     OverloadedError,
     ReproError,
     UnknownTenantError,
@@ -34,6 +35,7 @@ class TestHierarchy:
             EmptySelectionError("x"),
             UnknownTenantError("t"),
             OverloadedError(4, 4),
+            IngestNotAllowedError("t"),
         ):
             assert isinstance(error, ReproError)
 
@@ -73,6 +75,7 @@ class TestWireCodes:
         EmptySelectionError("x"): "empty_selection",
         UnknownTenantError("t"): "unknown_tenant",
         OverloadedError(1, 1): "overloaded",
+        IngestNotAllowedError("t"): "ingest_forbidden",
     }
 
     def test_wire_codes_are_stable(self):
@@ -99,3 +102,8 @@ class TestWireCodes:
         payload = error_to_wire(OverloadedError(5, 4))
         assert payload["in_flight"] == 5
         assert payload["limit"] == 4
+
+    def test_ingest_forbidden_payload_names_the_tenant(self):
+        payload = error_to_wire(IngestNotAllowedError("feedless"))
+        assert payload["tenant"] == "feedless"
+        assert "read-only" in payload["message"]

@@ -53,3 +53,9 @@ class TestExamples:
         assert "serving a batch" in out
         assert "over-budget request refused" in out
         assert "cache info" in out
+
+    def test_streaming_ingest(self):
+        out = run_example("streaming_ingest.py", "--smoke")
+        assert "log at v0" in out
+        assert "v2:" in out  # releases advanced with the feed
+        assert "historical snapshot v0" in out
