@@ -1,11 +1,13 @@
-"""Ablation — privacy-budget allocation (α₁, α₂, α₃).
+"""Ablation — privacy-budget allocation (α₁, α₂, α₃) via planners.
 
 The paper (Section 4.4) uses the untuned split (0.1, 0.4, 0.5) and
 notes "these choices were not tuned, and may not be optimal; it appears
 that the optimal allocation depends on characteristics of the dataset".
-This bench sweeps a small α-grid on the mushroom dataset at a mid
-budget and reports FNR/RE per split — quantifying how sensitive
-PrivBasis is to the one hyper-parameter the paper left open.
+This bench sweeps a small grid of :class:`BudgetPlanner` policies on
+the mushroom dataset at a mid budget and reports FNR/RE per planner —
+quantifying how sensitive PrivBasis is to the one hyper-parameter the
+paper left open, through the same planner API the serving pipeline
+uses (no split logic is re-implemented here).
 """
 
 from __future__ import annotations
@@ -14,15 +16,18 @@ from conftest import run_once
 
 from repro.datasets.registry import load_dataset
 from repro.experiments.runner import pb_spec, run_trials
+from repro.pipeline import AdaptivePlanner, CustomPlanner, PaperPlanner
 
-#: (α₁, α₂, α₃) grid: the paper default plus axis-aligned variations.
-ALPHA_GRID = (
-    (0.1, 0.4, 0.5),    # paper default
-    (0.1, 0.2, 0.7),    # cheap selection, rich counting
-    (0.1, 0.6, 0.3),    # rich selection, cheap counting
-    (0.3, 0.3, 0.4),    # expensive lambda
-    (0.05, 0.45, 0.5),  # cheap lambda
-    (0.2, 0.4, 0.4),    # balanced
+#: Planner grid: the paper policy, axis-aligned α variations via
+#: CustomPlanner, and the λ-driven adaptive policy.
+PLANNER_GRID = (
+    ("paper 0.1/0.4/0.5", PaperPlanner()),
+    ("custom 0.1/0.2/0.7", CustomPlanner((0.1, 0.2, 0.7))),
+    ("custom 0.1/0.6/0.3", CustomPlanner((0.1, 0.6, 0.3))),
+    ("custom 0.3/0.3/0.4", CustomPlanner((0.3, 0.3, 0.4))),
+    ("custom 0.05/0.45/0.5", CustomPlanner((0.05, 0.45, 0.5))),
+    ("custom 0.2/0.4/0.4", CustomPlanner((0.2, 0.4, 0.4))),
+    ("adaptive", AdaptivePlanner()),
 )
 
 K = 100
@@ -35,10 +40,10 @@ def bench_ablation_budget(benchmark, root_seed):
 
     def measure():
         rows = []
-        for alphas in ALPHA_GRID:
+        for label, planner in PLANNER_GRID:
             fnrs, res = run_trials(
                 database,
-                pb_spec(K, alphas=alphas),
+                pb_spec(K, planner=planner),
                 K,
                 EPSILON,
                 trials=TRIALS,
@@ -46,7 +51,7 @@ def bench_ablation_budget(benchmark, root_seed):
             )
             rows.append(
                 (
-                    alphas,
+                    label,
                     sum(fnrs) / len(fnrs),
                     sum(res) / len(res),
                 )
@@ -57,21 +62,27 @@ def bench_ablation_budget(benchmark, root_seed):
 
     print()
     print(
-        "ablation: budget allocation on mushroom "
+        "ablation: budget planners on mushroom "
         f"(k = {K}, eps = {EPSILON}, {TRIALS} trials)"
     )
-    print("alpha1  alpha2  alpha3  FNR     RE")
-    for (a1, a2, a3), fnr, re in rows:
-        print(f"{a1:<7g} {a2:<7g} {a3:<7g} {fnr:<7.3f} {re:.4f}")
+    print(f"{'planner':<22} FNR     RE")
+    for label, fnr, re in rows:
+        print(f"{label:<22} {fnr:<7.3f} {re:.4f}")
 
-    by_alphas = {alphas: (fnr, re) for alphas, fnr, re in rows}
+    by_label = {label: (fnr, re) for label, fnr, re in rows}
 
     # The paper's default must be competitive: within 0.15 FNR of the
-    # best split in the grid (it was chosen untuned, not optimal).
+    # best policy in the grid (it was chosen untuned, not optimal).
     best_fnr = min(fnr for _, fnr, _ in rows)
-    default_fnr = by_alphas[(0.1, 0.4, 0.5)][0]
+    default_fnr = by_label["paper 0.1/0.4/0.5"][0]
     assert default_fnr <= best_fnr + 0.15
 
-    # No split in this neighbourhood is catastrophic on the
+    # The adaptive planner must not be worse than the paper's on the
+    # single-basis dataset it is designed to help (it moves unused
+    # selection budget into counting there).
+    adaptive_fnr = by_label["adaptive"][0]
+    assert adaptive_fnr <= default_fnr + 0.05
+
+    # No policy in this neighbourhood is catastrophic on the
     # single-basis dataset — the algorithm is budget-robust here.
     assert all(fnr <= 0.5 for _, fnr, _ in rows)

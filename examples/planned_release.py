@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Shop for a release with dry-run pricing, then run it traced.
+
+Scenario: an analyst with a finite ε allowance wants to know what a
+release will cost — per stage, under different budget planners —
+*before* committing any budget.  ``GET /v1/plan`` prices the staged
+pipeline from public parameters only (the server touches no data and
+spends nothing), so the analyst can compare the paper split against
+the adaptive planner for free, pick one, and then run the real
+release with ``"trace": true`` to see exactly where the ε and the
+wall time went.
+
+Run:  PYTHONPATH=src python examples/planned_release.py [--smoke]
+(``--smoke`` is the same flow; it exists so CI can invoke every
+example uniformly.)
+"""
+
+import asyncio
+import sys
+
+from repro import PrivBasisService, ServiceClient, TenantRegistry
+
+
+async def main() -> None:
+    service = PrivBasisService(TenantRegistry.demo())
+    async with service.serving() as (host, port):
+        async with ServiceClient(host, port, tenant="alice") as client:
+            # -- 1. price the release under two planners (free) ------
+            print("dry-run pricing via GET /v1/plan (no data, no spend):")
+            for planner in ("paper", "adaptive"):
+                plan = await client.plan(k=40, epsilon=0.8,
+                                         planner=planner)
+                stages = ", ".join(
+                    f"{stage['stage']}="
+                    + (f"{stage['epsilon']:g}"
+                       if stage["epsilon"] is not None else "(from lambda)")
+                    for stage in plan["stages"]
+                )
+                print(f"  {planner:<9} {stages}")
+                print(
+                    f"            affordable={plan['affordable']} "
+                    f"(remaining eps = {plan['remaining']:g})"
+                )
+            budget = await client.budget()
+            assert budget["ledger"]["spent"] == 0.0
+            print("  ledger untouched after planning: spent = 0")
+
+            # -- 2. run the release with the chosen planner, traced --
+            print("\ntraced release with the adaptive planner:")
+            response = await client.release(
+                k=40, epsilon=0.8, planner="adaptive", trace=True
+            )
+            trace = response["trace"]
+            print(
+                f"  lambda = {trace['lam']}, branch = {trace['branch']}, "
+                f"eps spent = {trace['epsilon_spent']:g}"
+            )
+            print(f"  {'stage':<16} {'epsilon':>8} {'ms':>8}  queries")
+            for stage in trace["stages"]:
+                queries = ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(stage["queries"].items())
+                )
+                print(
+                    f"  {stage['stage']:<16} {stage['epsilon']:>8.4f} "
+                    f"{stage['wall_time_ms']:>8.2f}  {queries or '-'}"
+                )
+            top = response["itemsets"][0]
+            label = "{" + ", ".join(map(str, top["items"])) + "}"
+            print(
+                f"\n  released {len(response['itemsets'])} itemsets; "
+                f"top {label} (noisy f = {top['noisy_frequency']:.3f})"
+            )
+
+            # -- 3. the ledger reflects exactly the one release ------
+            budget = await client.budget()
+            print(
+                f"  ledger after release: spent = "
+                f"{budget['ledger']['spent']:g} of "
+                f"{budget['epsilon_limit']:g}"
+            )
+
+
+if __name__ == "__main__":
+    # --smoke is accepted for CI uniformity; the flow is already tiny.
+    sys.argv = [argument for argument in sys.argv if argument != "--smoke"]
+    asyncio.run(main())

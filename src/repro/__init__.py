@@ -22,6 +22,8 @@ Public API layers:
 * :mod:`repro.baselines` — the TF comparison method (Bhaskar et al.).
 * :mod:`repro.fim` — exact mining (Apriori, FP-Growth, top-k oracle).
 * :mod:`repro.datasets` — transaction databases, FIMI I/O, generators.
+* :mod:`repro.pipeline` — the staged release pipeline: stages,
+  pluggable budget planners, dry-run plans, per-stage traces.
 * :mod:`repro.dp` — Laplace / exponential mechanisms, budget ledger.
 * :mod:`repro.metrics` — FNR and relative error (paper Section 5).
 * :mod:`repro.experiments` — the table/figure reproduction harness.
@@ -48,12 +50,16 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptivePlanner",
     "BitmapBackend",
     "BudgetError",
     "BudgetExceededError",
+    "BudgetPlanner",
     "CountingBackend",
+    "CustomPlanner",
     "DatasetFormatError",
     "EmptySelectionError",
+    "PaperPlanner",
     "PrivBasisService",
     "PrivBasisSession",
     "ReproError",
@@ -63,7 +69,9 @@ __all__ = [
     "TransactionDatabase",
     "TransactionLog",
     "ValidationError",
+    "build_plan",
     "load_dataset",
+    "planned_release",
     "privbasis",
     "privbasis_threshold",
     "rules_from_release",
@@ -92,6 +100,17 @@ def __getattr__(name: str):
         import repro.service as service
 
         return getattr(service, name)
+    if name in (
+        "AdaptivePlanner",
+        "BudgetPlanner",
+        "CustomPlanner",
+        "PaperPlanner",
+        "build_plan",
+        "planned_release",
+    ):
+        import repro.pipeline as pipeline
+
+        return getattr(pipeline, name)
     if name == "privbasis_threshold":
         from repro.core.threshold import privbasis_threshold
 

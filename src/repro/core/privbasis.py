@@ -18,40 +18,43 @@ Five steps, with the privacy budget ε split α₁/α₂/α₃ = 0.1/0.4/0.5:
 Sequential composition over the data-touching steps gives ε-DP in
 total (paper Theorem 6); the :class:`~repro.dp.budget.PrivacyBudget`
 ledger enforces it at runtime.
+
+Since the staged-pipeline refactor this module is a thin compatibility
+wrapper: the stages live in :mod:`repro.pipeline.stages`, the budget
+split is a pluggable :class:`~repro.pipeline.planner.BudgetPlanner`
+(the default :class:`~repro.pipeline.planner.PaperPlanner` reproduces
+this docstring's split bit-for-bit), and execution — including the
+per-stage :class:`~repro.pipeline.trace.ReleaseTrace` every result now
+carries — happens in :mod:`repro.pipeline.run`.  See
+``docs/pipeline.md``.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Tuple
 
-from repro.core.basis import DEFAULT_MAX_BASIS_LENGTH, BasisSet, single_basis
-from repro.core.basis_freq import basis_freq
-from repro.core.construct_basis import construct_basis_set
-from repro.core.freq_elements import get_frequent_items, get_frequent_pairs
-from repro.core.lambda_select import get_lambda
+from repro.core.basis import DEFAULT_MAX_BASIS_LENGTH
 from repro.core.result import PrivBasisResult
 from repro.datasets.transactions import TransactionDatabase
-from repro.dp.budget import PrivacyBudget
-from repro.dp.rng import RngLike, ensure_rng
-from repro.engine.backend import CountingBackend, resolve_backend
-from repro.errors import ValidationError
+from repro.dp.rng import RngLike
+from repro.engine.backend import CountingBackend
+from repro.pipeline.planner import (
+    DEFAULT_ALPHAS,
+    SINGLE_BASIS_LAMBDA,
+    PlannerSpec,
+    default_eta,
+    pair_budget_size,
+)
 
-#: Budget fractions (α₁, α₂, α₃) — the paper's untuned default.
-DEFAULT_ALPHAS: Tuple[float, float, float] = (0.1, 0.4, 0.5)
+__all__ = [
+    "DEFAULT_ALPHAS",
+    "SINGLE_BASIS_LAMBDA",
+    "default_eta",
+    "privbasis",
+]
 
-#: λ at or below which a single basis of the λ most frequent items is
-#: used (paper Section 4.4: "Step 3 is needed only when λ > 12").
-SINGLE_BASIS_LAMBDA = 12
-
-
-def default_eta(k: int) -> float:
-    """The paper's safety margin: 1.1 or 1.2 "depending on k".
-
-    Small k leaves more room for the relative inflation, so we use 1.2
-    up to k = 100 and 1.1 beyond.
-    """
-    return 1.2 if k <= 100 else 1.1
+#: Back-compat alias — the λ₂ heuristic now lives in the planner layer.
+_pair_budget_size = pair_budget_size
 
 
 def privbasis(
@@ -66,6 +69,7 @@ def privbasis(
     noise: str = "laplace",
     rng: RngLike = None,
     backend: CountingBackend = None,
+    planner: PlannerSpec = None,
 ) -> PrivBasisResult:
     """Release the top-``k`` frequent itemsets under ε-DP.
 
@@ -81,17 +85,20 @@ def privbasis(
         Total privacy budget.
     eta:
         Safety-margin parameter η ≥ 1; defaults to
-        :func:`default_eta`.
+        :func:`~repro.pipeline.planner.default_eta`.
     alphas:
         Budget fractions (α₁, α₂, α₃) for steps 1 / 2–3 / 5; must be
-        positive and sum to 1.
+        positive and sum to 1.  A non-default value builds a
+        :class:`~repro.pipeline.planner.CustomPlanner`; mutually
+        exclusive with ``planner``.
     max_basis_length:
         Hard cap ℓ on basis length (bins are 2^ℓ).
     single_basis_lambda:
         λ threshold for the single-basis fast path.
     greedy_basis_optimization:
-        Forwarded to :func:`construct_basis_set`; False skips the
-        greedy EV merge/dissolve phases (ablation switch).
+        Forwarded to :func:`~repro.core.construct_basis.construct_basis_set`;
+        False skips the greedy EV merge/dissolve phases (ablation
+        switch).
     noise:
         Bin-noise mechanism for step 5: ``"laplace"`` (paper) or
         ``"geometric"`` (discrete analogue; extension).
@@ -103,104 +110,40 @@ def privbasis(
         ``database``.  Pass a warm backend (or use
         :class:`~repro.engine.session.PrivBasisSession`) to reuse
         exact intermediates across repeated releases.
+    planner:
+        Budget-allocation policy — a name (``"paper"`` /
+        ``"adaptive"``), a spec mapping, or a
+        :class:`~repro.pipeline.planner.BudgetPlanner` instance.
+        Defaults to the paper plan.
 
     Returns
     -------
     PrivBasisResult
         Published itemsets with noisy frequencies, plus diagnostics
-        (λ, F, P, the basis set, and the budget ledger).
+        (λ, F, P, the basis set, the budget ledger, and the per-stage
+        :class:`~repro.pipeline.trace.ReleaseTrace` on ``.trace``).
     """
-    if k < 1:
-        raise ValidationError(f"k must be >= 1, got {k}")
-    if len(alphas) != 3:
-        raise ValidationError(f"alphas must have 3 entries, got {alphas!r}")
-    if abs(sum(alphas) - 1.0) > 1e-9:
-        raise ValidationError(
-            f"alphas must sum to 1, got {alphas!r} (sum {sum(alphas):g})"
-        )
-    if eta is None:
-        eta = default_eta(k)
-    backend = resolve_backend(database, backend)
-    generator = ensure_rng(rng)
-    budget = PrivacyBudget(epsilon)
-    alpha1_eps, alpha2_eps, alpha3_eps = budget.split(alphas)
+    # Imported here, not at module top: repro.core's package init
+    # imports this module while repro.pipeline.plan may still be
+    # mid-import (it pulls core.basis), so a top-level import of the
+    # executor would close a cycle.
+    from repro.pipeline.run import planned_release
 
-    # Step 1: λ.
-    lam = get_lambda(
-        backend, k, alpha1_eps, eta=eta, rng=generator
-    )
-    budget.spend(alpha1_eps, "get_lambda")
-    lam = min(lam, backend.num_items)
-
-    if lam <= single_basis_lambda:
-        # Steps 2 + 4 (degenerate): single basis of the λ top items.
-        frequent_items = get_frequent_items(
-            backend, lam, alpha2_eps, rng=generator
-        )
-        budget.spend(alpha2_eps, "get_frequent_items")
-        basis_set = single_basis(frequent_items)
-        frequent_pairs: Tuple = ()
-    else:
-        lam2 = _pair_budget_size(lam, k, eta)
-        available_pairs = lam * (lam - 1) // 2
-        lam2 = min(lam2, available_pairs)
-        if lam2 >= 1:
-            beta1_eps = alpha2_eps * lam / (lam + lam2)
-            beta2_eps = alpha2_eps - beta1_eps
-        else:
-            beta1_eps, beta2_eps = alpha2_eps, 0.0
-        frequent_items = get_frequent_items(
-            backend, lam, beta1_eps, rng=generator
-        )
-        budget.spend(beta1_eps, "get_frequent_items")
-        if lam2 >= 1:
-            pairs = get_frequent_pairs(
-                backend, frequent_items, lam2, beta2_eps, rng=generator
-            )
-            budget.spend(beta2_eps, "get_frequent_pairs")
-        else:
-            pairs = []
-        frequent_pairs = tuple(sorted(pairs))
-        # Step 4: no data access, no budget.
-        basis_set = construct_basis_set(
-            frequent_items,
-            frequent_pairs,
-            max_basis_length,
-            greedy_optimize=greedy_basis_optimization,
-        )
-
-    # Step 5: noisy counts over C(B), top-k selection.
-    release = basis_freq(
-        backend, basis_set, k, alpha3_eps, rng=generator, noise=noise
-    )
-    budget.spend(alpha3_eps, "basis_freq")
-    budget.assert_within_budget()
-
-    return PrivBasisResult(
-        itemsets=release.itemsets,
+    # The legacy alphas keyword maps onto the planner layer: the
+    # default triple means "paper plan" (not a custom planner), so
+    # planner= stays usable alongside the old signature.
+    alphas_spec = None if tuple(alphas) == DEFAULT_ALPHAS else alphas
+    return planned_release(
+        database,
         k=k,
         epsilon=epsilon,
-        method="privbasis",
-        lam=lam,
-        frequent_items=tuple(sorted(frequent_items)),
-        frequent_pairs=tuple(frequent_pairs),
-        basis_set=basis_set,
-        budget=budget,
+        planner=planner,
+        eta=eta,
+        alphas=alphas_spec,
+        max_basis_length=max_basis_length,
+        single_basis_lambda=single_basis_lambda,
+        greedy_basis_optimization=greedy_basis_optimization,
+        noise=noise,
+        rng=rng,
+        backend=backend,
     )
-
-
-def _pair_budget_size(lam: int, k: int, eta: float) -> int:
-    """The paper's λ₂ heuristic (Section 4.4).
-
-    ``λ₂' = η·k − λ`` damped by ``√max(1, λ₂'/λ)``: when far more pairs
-    than items would be requested, most of the top-k are actually
-    deeper itemsets over few items, so fewer explicit pairs suffice
-    (worked example in the paper: pumsb-star, λ = 20 → λ₂ = 44).
-    """
-    lam2_raw = eta * k - lam
-    if lam2_raw <= 0:
-        return 0
-    damped = lam2_raw / math.sqrt(max(1.0, lam2_raw / lam))
-    # Floor, not round: the paper's worked example (λ = 20, k = 100,
-    # η = 1.2 → λ₂ = 44) implies ⌊100/√5⌋ = 44.
-    return max(1, int(damped))

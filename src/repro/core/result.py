@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.core.basis import BasisSet
 from repro.dp.budget import PrivacyBudget
 from repro.fim.itemsets import Itemset
+
+if TYPE_CHECKING:  # avoid a runtime core ↔ pipeline import cycle
+    from repro.pipeline.trace import ReleaseTrace
 
 
 @dataclass(frozen=True)
@@ -70,6 +73,11 @@ class PrivBasisResult(PrivateFIMResult):
     frequent_pairs: Tuple[Itemset, ...] = ()
     basis_set: Optional[BasisSet] = None
     budget: Optional[PrivacyBudget] = None
+    #: Per-stage execution record (ε, wall time, backend queries) of
+    #: the pipeline run that produced this release; populated by
+    #: :mod:`repro.pipeline.run`, ``None`` only for results built by
+    #: hand (e.g. in tests).
+    trace: Optional["ReleaseTrace"] = None
 
     @property
     def used_single_basis(self) -> bool:

@@ -18,7 +18,11 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
-from repro.errors import BudgetExceededError, ValidationError
+from repro.errors import (
+    BudgetExceededError,
+    InvalidFractionsError,
+    ValidationError,
+)
 
 #: Relative tolerance used when checking for overdrafts, so that exact
 #: splits like ``0.1 + 0.4 + 0.5`` do not fail on float rounding.
@@ -133,23 +137,30 @@ class PrivacyBudget:
     def split(self, fractions: Tuple[float, ...] | List[float]) -> List[float]:
         """Return ε amounts proportional to ``fractions`` of the *total*.
 
-        Validates that the fractions are positive and sum to at most 1
-        (within tolerance).  Does not spend anything by itself — callers
-        pass the returned amounts to :meth:`spend` as each stage runs,
-        which keeps the ledger aligned with actual data accesses.
+        Validates that the fractions are positive, finite, and sum to
+        at most 1 (within tolerance); violations raise the structured
+        :class:`~repro.errors.InvalidFractionsError` naming the
+        offending entry, so a zero fraction can never slip through to
+        a degenerate (ε = 0) stage.  Does not spend anything by itself
+        — callers pass the returned amounts to :meth:`spend` as each
+        stage runs, which keeps the ledger aligned with actual data
+        accesses.
         """
         fractions = list(fractions)
         if not fractions:
-            raise ValidationError("fractions must be non-empty")
-        if any(not (fraction > 0) for fraction in fractions):
-            raise ValidationError(
-                f"all fractions must be positive, got {fractions!r}"
-            )
+            raise InvalidFractionsError(fractions, "must be non-empty")
+        for index, fraction in enumerate(fractions):
+            if not (fraction > 0) or math.isinf(fraction):
+                raise InvalidFractionsError(
+                    fractions,
+                    f"fractions[{index}] = {fraction!r} is not a "
+                    f"positive finite number",
+                )
         total = math.fsum(fractions)
         if total > 1 + _REL_TOL:
-            raise ValidationError(
-                f"fractions sum to {total:g} > 1; they must partition "
-                f"the budget"
+            raise InvalidFractionsError(
+                fractions,
+                f"sum {total:g} > 1; fractions must partition the budget",
             )
         return [fraction * self.epsilon for fraction in fractions]
 

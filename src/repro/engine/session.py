@@ -242,13 +242,19 @@ class PrivBasisSession:
             if epsilon > remaining * (1 + 1e-9):
                 raise BudgetExceededError(epsilon, max(remaining, 0.0))
 
-    def release(self, k: int, epsilon: float, rng=None, **kwargs):
+    def release(
+        self, k: int, epsilon: float, rng=None, planner=None, **kwargs
+    ):
         """One ε-DP top-``k`` release against the warm backend.
 
         Accepts every keyword :func:`repro.core.privbasis.privbasis`
-        accepts (``eta``, ``alphas``, ``noise``, …) and returns its
-        :class:`~repro.core.result.PrivBasisResult`.  Fresh noise is
-        drawn per call; only exact intermediates are reused.
+        accepts (``eta``, ``alphas``, ``noise``, …) plus ``planner`` —
+        a budget-planner name, spec mapping, or
+        :class:`~repro.pipeline.planner.BudgetPlanner` — and returns a
+        :class:`~repro.core.result.PrivBasisResult` whose ``.trace``
+        reports per-stage ε, wall time, and backend query counts.
+        Fresh noise is drawn per call; only exact intermediates are
+        reused.
 
         The release pins the session's current snapshot version and
         reports it on ``result.snapshot_version``, so even under a
@@ -257,14 +263,15 @@ class PrivBasisSession:
         threads must serialize against releases, as the service's
         per-dataset lock does.)
         """
-        from repro.core.privbasis import privbasis
+        from repro.pipeline.run import planned_release
 
         self._charge(epsilon)
         pinned_version = self._snapshot_version
-        result = privbasis(
+        result = planned_release(
             self.database,
             k=k,
             epsilon=epsilon,
+            planner=planner,
             backend=self._backend,
             rng=self._rng if rng is None else rng,
             **kwargs,

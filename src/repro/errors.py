@@ -75,6 +75,43 @@ class EmptySelectionError(ValidationError):
     wire_code = "empty_selection"
 
 
+class UnknownPlannerError(ValidationError):
+    """A release or plan request named a budget planner that does not
+    exist.
+
+    Raised by :func:`repro.pipeline.planner.resolve_planner` (and
+    mapped to HTTP 400 with wire code ``unknown_planner``) so clients
+    can distinguish a typo'd planner name from other validation
+    failures and retry with one of ``known``.
+    """
+
+    wire_code = "unknown_planner"
+
+    def __init__(self, planner: str, known=()) -> None:
+        self.planner = str(planner)
+        self.known = tuple(known)
+        hint = f"; known planners: {list(self.known)}" if known else ""
+        super().__init__(f"unknown planner {planner!r}{hint}")
+
+
+class InvalidFractionsError(ValidationError):
+    """A budget split was asked for with malformed fractions.
+
+    Carries the offending ``fractions`` tuple and the ``reason`` so
+    callers (the planner layer, the service) can report precisely
+    which entry broke the split instead of string-matching messages.
+    """
+
+    wire_code = "validation_error"
+
+    def __init__(self, fractions, reason: str) -> None:
+        self.fractions = tuple(fractions)
+        self.reason = str(reason)
+        super().__init__(
+            f"invalid budget fractions {self.fractions!r}: {reason}"
+        )
+
+
 class UnknownTenantError(ValidationError):
     """A service request named a tenant the registry does not know."""
 
@@ -143,6 +180,9 @@ def error_to_wire(error: BaseException) -> Dict[str, Any]:
         payload["remaining"] = error.remaining
     if isinstance(error, (UnknownTenantError, IngestNotAllowedError)):
         payload["tenant"] = error.tenant_id
+    if isinstance(error, UnknownPlannerError):
+        payload["planner"] = error.planner
+        payload["known"] = list(error.known)
     if isinstance(error, OverloadedError):
         payload["in_flight"] = error.in_flight
         payload["limit"] = error.limit

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments.cli fig1 --plot      # ASCII charts
     python -m repro.experiments.cli datasets         # dataset summary
     python -m repro.experiments.cli all
+    python -m repro.experiments.cli compare --planner adaptive --trace
     python -m repro.experiments.cli serve --port 8008  # network service
     python -m repro.experiments.cli ingest --tenant alice feed.dat
 
@@ -71,6 +72,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--tf-m", type=int, default=2,
         help="TF length cap for 'compare'",
+    )
+    parser.add_argument(
+        "--planner", default="paper",
+        help="budget planner for 'compare' (paper, adaptive, or "
+             "custom — custom needs --alphas)",
+    )
+    parser.add_argument(
+        "--alphas", default=None, metavar="A1,A2,A3",
+        help="comma-separated alpha fractions for --planner custom",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print the per-stage execution trace of the PrivBasis "
+             "release in 'compare'",
     )
     parser.add_argument(
         "--profile",
@@ -247,15 +262,24 @@ def _run_compare(arguments) -> None:
     from repro.fim.itemsets import format_itemset
     from repro.metrics.utility import evaluate_release
 
+    planner_spec: dict = {"name": arguments.planner}
+    if arguments.alphas is not None:
+        planner_spec["alphas"] = [
+            float(part) for part in arguments.alphas.split(",")
+        ]
     database = load_dataset(arguments.dataset)
     k, epsilon = arguments.k, arguments.epsilon
     print(
-        f"{arguments.dataset}: PB vs TF(m={arguments.tf_m}) at "
+        f"{arguments.dataset}: PB[{arguments.planner}] vs "
+        f"TF(m={arguments.tf_m}) at "
         f"k = {k}, epsilon = {epsilon}, seed = {arguments.seed}"
     )
     truth = cached_top_k(database, k)
 
-    pb = privbasis(database, k=k, epsilon=epsilon, rng=arguments.seed)
+    pb = privbasis(
+        database, k=k, epsilon=epsilon, rng=arguments.seed,
+        planner=planner_spec,
+    )
     tf = tf_method(
         database, k=k, epsilon=epsilon, m=arguments.tf_m,
         variant=arguments.tf_variant, rng=arguments.seed,
@@ -281,6 +305,28 @@ def _run_compare(arguments) -> None:
             f"  {format_itemset(entry.itemset):<28} "
             f"noisy f = {entry.noisy_frequency:.4f}  ({rank_text})"
         )
+
+    if arguments.trace:
+        print(f"\n{_format_trace(pb.trace)}")
+
+
+def _format_trace(trace) -> str:
+    """Render a release trace as an aligned per-stage table."""
+    lines = [
+        f"pipeline trace: planner = {trace.planner}, "
+        f"lambda = {trace.lam}, branch = {trace.branch}",
+        f"{'stage':<16} {'epsilon':>9} {'ms':>8}  queries",
+    ]
+    for stage in trace.stages:
+        queries = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(stage.queries.items())
+        )
+        lines.append(
+            f"{stage.name:<16} {stage.epsilon:>9.4f} "
+            f"{stage.wall_time_s * 1000:>8.2f}  {queries or '-'}"
+        )
+    return "\n".join(lines)
 
 
 def _print_datasets() -> None:

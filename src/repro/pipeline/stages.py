@@ -1,0 +1,200 @@
+"""The five release stages of Algorithm 3 as first-class objects.
+
+Each :class:`Stage` declares its identity (``name``), which budget
+share it draws from (``share`` — one of ``"alpha1"`` / ``"alpha2"`` /
+``"alpha3"`` or ``None`` for the free stage), and whether it reads the
+data (``touches_data``).  The declarations are what the dry-run plan
+(:mod:`repro.pipeline.plan`) prices and what the trace
+(:mod:`repro.pipeline.trace`) reports; the ``run`` methods delegate to
+the proven mechanism implementations in :mod:`repro.core`, so the
+pipeline adds structure without re-deriving any DP math.
+
+Stages communicate through a mutable :class:`StageContext` — the
+executor (:mod:`repro.pipeline.run`) owns the ordering, budget spends,
+and branch decision, keeping each stage a pure "consume context, call
+mechanism, write context" step.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.basis import BasisSet, single_basis
+from repro.core.basis_freq import basis_freq
+from repro.core.construct_basis import construct_basis_set
+from repro.core.freq_elements import get_frequent_items, get_frequent_pairs
+from repro.core.lambda_select import get_lambda
+from repro.core.result import PrivateFIMResult
+from repro.engine.backend import CountingBackend
+from repro.fim.itemsets import Itemset
+from repro.pipeline.planner import SelectionAllocation
+
+__all__ = [
+    "BasisFreqStage",
+    "ConstructBasis",
+    "GetLambda",
+    "PIPELINE_STAGES",
+    "SelectItems",
+    "SelectPairs",
+    "Stage",
+    "StageContext",
+]
+
+
+@dataclass
+class StageContext:
+    """Shared state the stages read and write, in pipeline order.
+
+    The executor fills the static fields up front; each stage consumes
+    the outputs of its predecessors and publishes its own.
+    """
+
+    backend: CountingBackend
+    rng: object
+    k: int
+    eta: float
+    single_basis_lambda: int
+    max_basis_length: int
+    greedy_basis_optimization: bool
+    noise: str
+    # Evolving pipeline state:
+    lam: Optional[int] = None
+    allocation: Optional[SelectionAllocation] = None
+    frequent_items: List[int] = field(default_factory=list)
+    frequent_pairs: Tuple[Itemset, ...] = ()
+    basis_set: Optional[BasisSet] = None
+    release: Optional[PrivateFIMResult] = None
+
+
+class Stage(abc.ABC):
+    """One step of the release pipeline.
+
+    ``share`` names the α fraction the stage draws its ε from (``None``
+    for the data-free construction step); ``touches_data`` declares
+    whether ``run`` queries the counting backend — the flag the plan
+    endpoint relies on to promise that dry-run pricing reads no data.
+    """
+
+    #: Stable stage identifier (plan/trace/metrics key).
+    name: str = "stage"
+    #: Which α fraction funds this stage (``None`` = free).
+    share: Optional[str] = None
+    #: Whether ``run`` reads the transaction data.
+    touches_data: bool = False
+    #: Human summary for plan payloads.
+    summary: str = ""
+
+    @abc.abstractmethod
+    def run(self, ctx: StageContext, epsilon: float) -> None:
+        """Execute the stage, spending exactly ``epsilon`` on data."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class GetLambda(Stage):
+    """Step 1: estimate λ via the exponential mechanism (α₁ε)."""
+
+    name = "get_lambda"
+    share = "alpha1"
+    touches_data = True
+    summary = "estimate lambda, the item width of the top-k"
+
+    def run(self, ctx: StageContext, epsilon: float) -> None:
+        lam = get_lambda(
+            ctx.backend, ctx.k, epsilon, eta=ctx.eta, rng=ctx.rng
+        )
+        ctx.lam = min(lam, ctx.backend.num_items)
+
+
+class SelectItems(Stage):
+    """Step 2: select the λ most frequent items (item share of α₂ε)."""
+
+    name = "select_items"
+    share = "alpha2"
+    touches_data = True
+    summary = "select the lambda most frequent items"
+
+    def run(self, ctx: StageContext, epsilon: float) -> None:
+        ctx.frequent_items = get_frequent_items(
+            ctx.backend, ctx.lam, epsilon, rng=ctx.rng
+        )
+
+
+class SelectPairs(Stage):
+    """Step 3: select λ₂ frequent pairs (pair share of α₂ε).
+
+    Conditional: runs only in the pairs branch (λ > threshold) and
+    only when the planner allocated at least one pair.
+    """
+
+    name = "select_pairs"
+    share = "alpha2"
+    touches_data = True
+    summary = "select lambda2 frequent pairs among the items"
+
+    def run(self, ctx: StageContext, epsilon: float) -> None:
+        pairs = get_frequent_pairs(
+            ctx.backend,
+            ctx.frequent_items,
+            ctx.allocation.lam2,
+            epsilon,
+            rng=ctx.rng,
+        )
+        ctx.frequent_pairs = tuple(sorted(pairs))
+
+
+class ConstructBasis(Stage):
+    """Step 4: turn (F, P) into a basis set — no data access, no ε.
+
+    Degenerates to the single basis ``{F}`` on the fast path
+    (Proposition 2); otherwise runs the maximal-clique + greedy-EV
+    constructor.
+    """
+
+    name = "construct_basis"
+    share = None
+    touches_data = False
+    summary = "build the basis set from items and pairs (free)"
+
+    def run(self, ctx: StageContext, epsilon: float) -> None:
+        if ctx.allocation.single_basis:
+            ctx.basis_set = single_basis(ctx.frequent_items)
+        else:
+            ctx.basis_set = construct_basis_set(
+                ctx.frequent_items,
+                ctx.frequent_pairs,
+                ctx.max_basis_length,
+                greedy_optimize=ctx.greedy_basis_optimization,
+            )
+
+
+class BasisFreqStage(Stage):
+    """Step 5: noisy bin counts over C(B), top-k selection (α₃ε)."""
+
+    name = "basis_freq"
+    share = "alpha3"
+    touches_data = True
+    summary = "noisy bin counts over the basis set, pick the top k"
+
+    def run(self, ctx: StageContext, epsilon: float) -> None:
+        ctx.release = basis_freq(
+            ctx.backend,
+            ctx.basis_set,
+            ctx.k,
+            epsilon,
+            rng=ctx.rng,
+            noise=ctx.noise,
+        )
+
+
+#: The five stages in pipeline order (the plan endpoint's skeleton).
+PIPELINE_STAGES: Tuple[Stage, ...] = (
+    GetLambda(),
+    SelectItems(),
+    SelectPairs(),
+    ConstructBasis(),
+    BasisFreqStage(),
+)

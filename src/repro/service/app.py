@@ -29,9 +29,17 @@ One :class:`PrivBasisService` fronts one
   paths acquire the session through the coalescer.  Tenants whose
   config sets ``"ingest": false`` get HTTP 403 ``ingest_forbidden``.
 
+* **Plans are free.**  ``GET /v1/plan`` prices a release — per-stage ε
+  under the requested :class:`~repro.pipeline.planner.BudgetPlanner` —
+  from public parameters only: no tenant budget is spent, no session
+  is built, no data is read.  Releases may opt into a per-stage
+  execution trace (``"trace": true``) and every served release feeds
+  the per-stage counters ``/metrics`` reports under ``pipeline``.
+
 Endpoints: ``POST /v1/release``, ``POST /v1/release_batch``,
-``POST /v1/ingest``, ``GET /v1/snapshot?tenant=…``,
-``GET /v1/budget?tenant=…``, ``GET /healthz``, ``GET /metrics``.
+``POST /v1/ingest``, ``GET /v1/plan?tenant=…&k=…&epsilon=…``,
+``GET /v1/snapshot?tenant=…``, ``GET /v1/budget?tenant=…``,
+``GET /healthz``, ``GET /metrics``.
 """
 
 from __future__ import annotations
@@ -53,12 +61,14 @@ from repro.errors import (
     ValidationError,
     error_to_wire,
 )
+from repro.pipeline.plan import build_plan
 from repro.service import http
 from repro.service.coalesce import Coalescer
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ServiceMetrics, StageMetrics
 from repro.service.protocol import (
     parse_batch_request,
     parse_ingest_request,
+    parse_plan_query,
     parse_release_request,
     result_to_wire,
 )
@@ -73,8 +83,8 @@ DEFAULT_MAX_INFLIGHT = 8
 #: "unknown" so a path-spraying client cannot grow per-route state
 #: without bound.
 ROUTES = frozenset(
-    {"/healthz", "/metrics", "/v1/budget", "/v1/ingest", "/v1/release",
-     "/v1/release_batch", "/v1/snapshot"}
+    {"/healthz", "/metrics", "/v1/budget", "/v1/ingest", "/v1/plan",
+     "/v1/release", "/v1/release_batch", "/v1/snapshot"}
 )
 
 
@@ -161,6 +171,7 @@ class PrivBasisService:
         self._sessions: Dict[str, PrivBasisSession] = {}
         self._release_locks: Dict[str, asyncio.Lock] = {}
         self._metrics = ServiceMetrics()
+        self._stage_metrics = StageMetrics()
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._started_at = time.monotonic()
@@ -259,6 +270,7 @@ class PrivBasisService:
         """``POST /v1/release`` — one ε-DP release for one tenant."""
         tenant = self._tenant_for(body)
         request = parse_release_request(body)
+        include_trace = request.pop("trace", False)
         self._admit()
         try:
             session = await self.get_session(tenant.dataset)
@@ -278,10 +290,11 @@ class PrivBasisService:
             )
         finally:
             self._release_slot()
+        self._stage_metrics.record(result.trace)
         return {
             "tenant": tenant.tenant_id,
             "dataset": tenant.dataset,
-            **result_to_wire(result),
+            **result_to_wire(result, include_trace=include_trace),
         }
 
     async def handle_release_batch(
@@ -290,6 +303,9 @@ class PrivBasisService:
         """``POST /v1/release_batch`` — all-or-nothing multi-release."""
         tenant = self._tenant_for(body)
         requests = parse_batch_request(body)
+        trace_flags = [
+            request.pop("trace", False) for request in requests
+        ]
         total = sum(request["epsilon"] for request in requests)
         self._admit(weight=len(requests))
         try:
@@ -310,10 +326,15 @@ class PrivBasisService:
             )
         finally:
             self._release_slot(weight=len(requests))
+        for result in results:
+            self._stage_metrics.record(result.trace)
         return {
             "tenant": tenant.tenant_id,
             "dataset": tenant.dataset,
-            "results": [result_to_wire(result) for result in results],
+            "results": [
+                result_to_wire(result, include_trace=include_trace)
+                for result, include_trace in zip(results, trace_flags)
+            ],
         }
 
     async def handle_ingest(
@@ -379,6 +400,36 @@ class PrivBasisService:
                 "num_releases": session.num_releases,
             }
 
+    def handle_plan(self, query: Mapping[str, str]) -> Dict[str, Any]:
+        """``GET /v1/plan`` — dry-run ε pricing for a release.
+
+        Prices the staged pipeline under the requested planner from
+        public parameters only: the handler never builds a session,
+        never touches the dataset, and spends nothing from the
+        tenant's ledger — it only *reads* the ledger to report whether
+        the quoted release would fit the remaining budget.  Analysts
+        can therefore shop for (k, ε, planner) combinations for free
+        before committing budget to a real release.
+        """
+        tenant_id = query.get("tenant", "")
+        if not tenant_id:
+            raise ValidationError(
+                "plan queries need a ?tenant=<id> parameter"
+            )
+        tenant = self._registry.get(tenant_id)
+        params = parse_plan_query(query)
+        plan = build_plan(
+            params["k"], params["epsilon"], planner=params["planner"]
+        )
+        remaining = tenant.ledger.remaining
+        return {
+            "tenant": tenant.tenant_id,
+            "dataset": tenant.dataset,
+            "remaining": remaining,
+            "affordable": params["epsilon"] <= remaining * (1 + 1e-9),
+            **plan.describe(),
+        }
+
     def handle_budget(self, tenant_id: str) -> Dict[str, Any]:
         """``GET /v1/budget?tenant=…`` — the tenant's ledger snapshot."""
         if not tenant_id:
@@ -398,11 +449,13 @@ class PrivBasisService:
         }
 
     def handle_metrics(self) -> Dict[str, Any]:
-        """``GET /metrics`` — HTTP, coalescer, and cache telemetry."""
+        """``GET /metrics`` — HTTP, pipeline, coalescer, and cache
+        telemetry."""
         return {
             "http": self._metrics.snapshot(),
             "in_flight": self._in_flight,
             "max_inflight": self._max_inflight,
+            "pipeline": self._stage_metrics.snapshot(),
             "coalescer": self._coalescer.stats(),
             "datasets": {
                 name: session.stats()
@@ -424,6 +477,8 @@ class PrivBasisService:
                 return 200, self.handle_budget(
                     request.query.get("tenant", "")
                 )
+            if request.path == "/v1/plan" and request.method == "GET":
+                return 200, self.handle_plan(request.query)
             if request.path == "/v1/snapshot" and request.method == "GET":
                 return 200, await self.handle_snapshot(
                     request.query.get("tenant", "")

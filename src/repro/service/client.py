@@ -20,6 +20,7 @@ from repro.errors import (
     IngestNotAllowedError,
     OverloadedError,
     ReproError,
+    UnknownPlannerError,
     UnknownTenantError,
     ValidationError,
 )
@@ -51,6 +52,10 @@ def _raise_for(status: int, payload: Any) -> None:
         )
     if code == "unknown_tenant":
         raise UnknownTenantError(payload.get("tenant", ""))
+    if code == "unknown_planner":
+        raise UnknownPlannerError(
+            payload.get("planner", ""), payload.get("known", ())
+        )
     if code == "ingest_forbidden":
         raise IngestNotAllowedError(payload.get("tenant", ""))
     if code == "overloaded":
@@ -177,9 +182,17 @@ class ServiceClient:
         k: int,
         epsilon: float,
         noise: Optional[str] = None,
+        planner: Optional[Any] = None,
+        trace: bool = False,
         tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """``POST /v1/release`` — returns the decoded response payload."""
+        """``POST /v1/release`` — returns the decoded response payload.
+
+        ``planner`` is a name (``"adaptive"``) or a spec mapping
+        (``{"name": "custom", "alphas": [0.1, 0.3, 0.6]}``);
+        ``trace=True`` asks the server to attach the per-stage
+        execution trace to the response.
+        """
         body: Dict[str, Any] = {
             "tenant": self._tenant_id(tenant),
             "k": k,
@@ -187,7 +200,34 @@ class ServiceClient:
         }
         if noise is not None:
             body["noise"] = noise
+        if planner is not None:
+            body["planner"] = planner
+        if trace:
+            body["trace"] = True
         return await self._roundtrip("POST", "/v1/release", body)
+
+    async def plan(
+        self,
+        k: int,
+        epsilon: float,
+        planner: Optional[str] = None,
+        alphas: Optional[List[float]] = None,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """``GET /v1/plan`` — dry-run ε pricing, spends nothing.
+
+        Returns the priced stage list plus ``remaining`` /
+        ``affordable`` for this tenant's ledger; the server touches no
+        data answering it, so plans are free to shop with.
+        """
+        tenant_id = quote(self._tenant_id(tenant), safe="")
+        path = f"/v1/plan?tenant={tenant_id}&k={int(k)}&epsilon={epsilon}"
+        if planner is not None:
+            path += f"&planner={quote(str(planner), safe='')}"
+        if alphas is not None:
+            joined = ",".join(str(float(alpha)) for alpha in alphas)
+            path += f"&alphas={quote(joined, safe=',')}"
+        return await self._roundtrip("GET", path)
 
     async def release_batch(
         self,

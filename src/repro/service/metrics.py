@@ -5,6 +5,12 @@ request/status counters, all plain dicts so the ``/metrics`` endpoint
 can serialize them as JSON without a metrics library.  Buckets are
 cumulative (Prometheus-style ``le`` semantics) so dashboards can read
 quantile bounds directly.
+
+:class:`StageMetrics` adds the pipeline dimension: every release's
+:class:`~repro.pipeline.trace.ReleaseTrace` is folded into per-stage
+counters (runs, ε, wall time, backend queries) plus branch and
+planner tallies, so ``/metrics`` shows *where inside the algorithm*
+the service spends its budget and its time.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Tuple
 
-__all__ = ["LatencyHistogram", "ServiceMetrics"]
+__all__ = ["LatencyHistogram", "ServiceMetrics", "StageMetrics"]
 
 #: Upper bucket bounds in milliseconds.  Cold PrivBasis releases land
 #: in the hundreds of ms, warm ones in single digits, so the grid is
@@ -72,6 +78,67 @@ class LatencyHistogram:
                 }
                 for b in cumulative
             ],
+        }
+
+
+class StageMetrics:
+    """Aggregated per-stage pipeline telemetry across served releases.
+
+    Fed one :class:`~repro.pipeline.trace.ReleaseTrace` per release by
+    the service's release handlers; :meth:`snapshot` is the
+    ``pipeline`` section of ``/metrics``.
+    """
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, Dict[str, object]] = {}
+        self._branches: Dict[str, int] = {}
+        self._planners: Dict[str, int] = {}
+        self._releases = 0
+
+    def record(self, trace) -> None:
+        """Fold one release's trace into the counters."""
+        if trace is None:
+            return
+        self._releases += 1
+        self._branches[trace.branch] = (
+            self._branches.get(trace.branch, 0) + 1
+        )
+        self._planners[trace.planner] = (
+            self._planners.get(trace.planner, 0) + 1
+        )
+        for stage in trace.stages:
+            entry = self._stages.get(stage.name)
+            if entry is None:
+                entry = self._stages[stage.name] = {
+                    "runs": 0,
+                    "epsilon_total": 0.0,
+                    "wall_time_ms_total": 0.0,
+                    "queries": {},
+                }
+            entry["runs"] += 1
+            entry["epsilon_total"] += stage.epsilon
+            entry["wall_time_ms_total"] += stage.wall_time_s * 1000.0
+            queries: Dict[str, int] = entry["queries"]
+            for kind, count in stage.queries.items():
+                queries[kind] = queries.get(kind, 0) + count
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything ``/metrics`` reports about the pipeline layer."""
+        return {
+            "releases": self._releases,
+            "branches": dict(self._branches),
+            "planners": dict(self._planners),
+            "stages": {
+                name: {
+                    "runs": entry["runs"],
+                    "epsilon_total": entry["epsilon_total"],
+                    "wall_time_ms_total": round(
+                        entry["wall_time_ms_total"], 3
+                    ),
+                    "queries": dict(entry["queries"]),
+                }
+                for name, entry in sorted(self._stages.items())
+            },
         }
 
 

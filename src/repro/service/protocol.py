@@ -17,11 +17,13 @@ from typing import Any, Dict, List, Mapping
 
 from repro.core.result import PrivateFIMResult
 from repro.errors import ValidationError
+from repro.pipeline.planner import resolve_planner
 
 __all__ = [
     "parse_release_request",
     "parse_batch_request",
     "parse_ingest_request",
+    "parse_plan_query",
     "result_to_wire",
 ]
 
@@ -29,7 +31,7 @@ __all__ = [
 ALLOWED_NOISE = ("laplace", "geometric")
 
 #: Keys a release request may carry beyond ``tenant``.
-_RELEASE_KEYS = {"k", "epsilon", "noise"}
+_RELEASE_KEYS = {"k", "epsilon", "noise", "planner", "trace"}
 
 #: Keys that are rejected outright (see module docstring).
 _FORBIDDEN_KEYS = {"seed", "rng"}
@@ -62,9 +64,14 @@ def _require_mapping(body: Any, what: str) -> Mapping[str, Any]:
 def parse_release_request(body: Any) -> Dict[str, Any]:
     """Validate one release body into ``privbasis`` keyword arguments.
 
-    Returns ``{"k": int, "epsilon": float}`` plus ``noise`` when given.
-    Raises :class:`~repro.errors.ValidationError` on anything
-    malformed, including forbidden ``seed``/``rng`` keys.
+    Returns ``{"k": int, "epsilon": float}`` plus ``noise`` /
+    ``planner`` / ``trace`` when given.  A ``planner`` value (a name
+    like ``"adaptive"`` or ``{"name": "custom", "alphas": [...]}``) is
+    resolved here — unknown names answer ``unknown_planner`` before
+    any budget is charged or data touched.  ``trace: true`` opts the
+    response into the per-stage execution trace.  Raises
+    :class:`~repro.errors.ValidationError` on anything malformed,
+    including forbidden ``seed``/``rng`` keys.
     """
     body = _require_mapping(body, "release request")
     forbidden = _FORBIDDEN_KEYS & set(body)
@@ -108,6 +115,18 @@ def parse_release_request(body: Any) -> Dict[str, Any]:
                 f"noise must be one of {list(ALLOWED_NOISE)}, got {noise!r}"
             )
         request["noise"] = noise
+    if "planner" in body:
+        # Resolve eagerly: a typo'd planner must fail the request
+        # before admission/charging, and the resolved object is what
+        # the session's release path consumes.
+        request["planner"] = resolve_planner(body["planner"])
+    if "trace" in body:
+        trace = body["trace"]
+        if not isinstance(trace, bool):
+            raise ValidationError(
+                f"trace must be a JSON boolean, got {trace!r}"
+            )
+        request["trace"] = trace
     return request
 
 
@@ -189,7 +208,53 @@ def parse_ingest_request(body: Any) -> List[List[int]]:
     return parsed
 
 
-def result_to_wire(result: PrivateFIMResult) -> Dict[str, Any]:
+def parse_plan_query(query: Mapping[str, str]) -> Dict[str, Any]:
+    """Validate ``GET /v1/plan`` query parameters.
+
+    The query string carries ``k`` and ``epsilon`` (required),
+    ``planner`` (a name; default ``paper``), and ``alphas`` (a
+    comma-separated triple, required by ``planner=custom``).  Returns
+    ``{"k": int, "epsilon": float, "planner": BudgetPlanner}`` — the
+    planner resolved eagerly so typos answer ``unknown_planner``.
+    Pricing is pure arithmetic over these parameters; nothing here
+    (or downstream in plan building) reads any data.
+    """
+    raw_k = query.get("k", "")
+    try:
+        k = int(raw_k)
+    except ValueError:
+        raise ValidationError(
+            f"plan queries need an integer ?k=, got {raw_k!r}"
+        )
+    raw_epsilon = query.get("epsilon", "")
+    try:
+        epsilon = float(raw_epsilon)
+    except ValueError:
+        raise ValidationError(
+            f"plan queries need a numeric ?epsilon=, got {raw_epsilon!r}"
+        )
+    if not 1 <= k <= MAX_K:
+        raise ValidationError(f"k must be in [1, {MAX_K}], got {k}")
+    if not 0 < epsilon < float("inf"):
+        raise ValidationError(
+            f"epsilon must be positive and finite, got {raw_epsilon!r}"
+        )
+    spec: Dict[str, Any] = {"name": query.get("planner", "paper")}
+    if "alphas" in query:
+        parts = query["alphas"].split(",")
+        try:
+            spec["alphas"] = [float(part) for part in parts]
+        except ValueError:
+            raise ValidationError(
+                f"?alphas= must be comma-separated numbers, "
+                f"got {query['alphas']!r}"
+            )
+    return {"k": k, "epsilon": epsilon, "planner": resolve_planner(spec)}
+
+
+def result_to_wire(
+    result: PrivateFIMResult, include_trace: bool = False
+) -> Dict[str, Any]:
     """Serialize a release result into the response payload.
 
     Only the published statistics go on the wire: itemsets with their
@@ -201,6 +266,11 @@ def result_to_wire(result: PrivateFIMResult) -> Dict[str, Any]:
     ledger stay server-side — they are either derivable from the
     output or internal accounting, and the response contract should
     not depend on which pipeline produced the release.
+
+    The per-stage execution trace is the one opt-in exception
+    (``include_trace``, driven by the request's ``trace`` flag): it
+    contains only public parameters and already-released DP outputs
+    (see :mod:`repro.pipeline.trace`), so exposing it leaks nothing.
     """
     payload: Dict[str, Any] = {
         "method": result.method,
@@ -217,4 +287,7 @@ def result_to_wire(result: PrivateFIMResult) -> Dict[str, Any]:
     }
     if result.snapshot_version is not None:
         payload["snapshot_version"] = result.snapshot_version
+    trace = getattr(result, "trace", None)
+    if include_trace and trace is not None:
+        payload["trace"] = trace.to_wire()
     return payload

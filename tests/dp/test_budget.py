@@ -102,6 +102,25 @@ class TestSplit:
         with pytest.raises(ValidationError):
             PrivacyBudget(1.0).split((0.5, 0.0))
 
+    def test_split_error_is_structured(self):
+        # A zero fraction must answer the structured error naming the
+        # offending entry, never slip through to a degenerate ε = 0
+        # stage budget.
+        from repro.errors import InvalidFractionsError
+
+        with pytest.raises(InvalidFractionsError) as excinfo:
+            PrivacyBudget(1.0).split((0.5, 0.0, 0.5))
+        assert excinfo.value.fractions == (0.5, 0.0, 0.5)
+        assert "fractions[1]" in str(excinfo.value)
+
+    def test_split_rejects_nan_and_inf(self):
+        from repro.errors import InvalidFractionsError
+
+        with pytest.raises(InvalidFractionsError):
+            PrivacyBudget(1.0).split((float("nan"), 0.5))
+        with pytest.raises(InvalidFractionsError):
+            PrivacyBudget(1.0).split((float("inf"),))
+
     def test_split_rejects_empty(self):
         with pytest.raises(ValidationError):
             PrivacyBudget(1.0).split(())

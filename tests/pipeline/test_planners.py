@@ -1,0 +1,208 @@
+"""Planner-layer contracts: validation, resolution, allocations.
+
+The planner layer is now the single home of the α checks that used to
+live inside ``privbasis()`` and the one place the α₂ item/pair split
+is decided, so its invariants are pinned directly: every allocation
+must conserve the α₂ε it was given, and every resolution path must
+fail loudly (``unknown_planner``) before any data could be touched.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnknownPlannerError, ValidationError
+from repro.pipeline.planner import (
+    DEFAULT_ALPHAS,
+    SINGLE_BASIS_LAMBDA,
+    AdaptivePlanner,
+    CustomPlanner,
+    PaperPlanner,
+    pair_budget_size,
+    planner_for,
+    planner_names,
+    resolve_planner,
+    validate_alphas,
+)
+
+
+class TestAlphaValidation:
+    def test_default_alphas_pass(self):
+        assert validate_alphas(DEFAULT_ALPHAS) == DEFAULT_ALPHAS
+
+    @pytest.mark.parametrize(
+        "alphas",
+        [
+            (0.5, 0.5),                 # wrong arity
+            (0.1, 0.1, 0.1),            # does not sum to 1
+            (0.5, 0.5, 0.0),            # zero fraction
+            (0.6, 0.6, -0.2),           # negative fraction
+            (float("nan"), 0.5, 0.5),   # NaN
+        ],
+    )
+    def test_bad_alphas_rejected(self, alphas):
+        with pytest.raises(ValidationError):
+            validate_alphas(alphas)
+
+    def test_custom_planner_validates_at_construction(self):
+        with pytest.raises(ValidationError):
+            CustomPlanner((0.2, 0.2, 0.2))
+
+    def test_paper_planner_uses_paper_alphas(self):
+        assert PaperPlanner().alphas == DEFAULT_ALPHAS
+
+    def test_adaptive_planner_accepts_custom_alphas(self):
+        planner = AdaptivePlanner((0.1, 0.3, 0.6))
+        assert planner.alphas == (0.1, 0.3, 0.6)
+
+
+class TestResolution:
+    def test_none_is_paper(self):
+        assert isinstance(resolve_planner(None), PaperPlanner)
+
+    def test_instance_passes_through(self):
+        planner = AdaptivePlanner()
+        assert resolve_planner(planner) is planner
+
+    def test_names_resolve(self):
+        assert resolve_planner("paper").name == "paper"
+        assert resolve_planner("adaptive").name == "adaptive"
+
+    def test_unknown_name_is_structured(self):
+        with pytest.raises(UnknownPlannerError) as excinfo:
+            resolve_planner("bogus")
+        assert excinfo.value.planner == "bogus"
+        assert excinfo.value.known == planner_names()
+
+    def test_custom_needs_alphas(self):
+        with pytest.raises(ValidationError):
+            resolve_planner("custom")
+        planner = resolve_planner(
+            {"name": "custom", "alphas": [0.1, 0.3, 0.6]}
+        )
+        assert planner.alphas == (0.1, 0.3, 0.6)
+
+    def test_mapping_with_unknown_keys_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_planner({"name": "paper", "seed": 3})
+
+    def test_paper_with_foreign_alphas_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_planner({"name": "paper", "alphas": [0.2, 0.4, 0.4]})
+
+    def test_planner_for_rejects_both(self):
+        with pytest.raises(ValidationError):
+            planner_for("adaptive", alphas=(0.1, 0.4, 0.5))
+
+    def test_planner_for_maps_default_alphas_to_paper(self):
+        assert isinstance(
+            planner_for(None, alphas=DEFAULT_ALPHAS), PaperPlanner
+        )
+        custom = planner_for(None, alphas=(0.2, 0.4, 0.4))
+        assert isinstance(custom, CustomPlanner)
+        assert custom.name == "custom"
+
+
+class TestAllocations:
+    """Every planner must conserve the α₂ε it divides."""
+
+    ALPHA2_EPS = 0.4
+
+    @pytest.mark.parametrize("planner", [PaperPlanner(), AdaptivePlanner()])
+    @pytest.mark.parametrize("lam", [1, 5, 12, 13, 20, 60])
+    def test_allocation_conserves_alpha2(self, planner, lam):
+        allocation = planner.selection_allocation(
+            lam, 100, 1.2, self.ALPHA2_EPS, SINGLE_BASIS_LAMBDA
+        )
+        total = (
+            allocation.items_epsilon
+            + allocation.pairs_epsilon
+            + allocation.counting_bonus
+        )
+        assert total == pytest.approx(self.ALPHA2_EPS, rel=1e-12)
+        assert allocation.items_epsilon > 0
+        assert allocation.pairs_epsilon >= 0
+        assert allocation.counting_bonus >= 0
+
+    def test_paper_matches_worked_example(self):
+        # Paper Section 4.4: pumsb-star, k = 100, η = 1.2, λ = 20
+        # → λ₂ = 44 and the split is λ:λ₂.
+        allocation = PaperPlanner().selection_allocation(
+            20, 100, 1.2, self.ALPHA2_EPS, SINGLE_BASIS_LAMBDA
+        )
+        assert allocation.lam2 == 44
+        assert allocation.items_epsilon == pytest.approx(
+            self.ALPHA2_EPS * 20 / 64
+        )
+        assert not allocation.single_basis
+        assert allocation.counting_bonus == 0.0
+
+    def test_paper_single_basis_takes_everything(self):
+        allocation = PaperPlanner().selection_allocation(
+            8, 100, 1.2, self.ALPHA2_EPS, SINGLE_BASIS_LAMBDA
+        )
+        assert allocation.single_basis
+        assert allocation.items_epsilon == self.ALPHA2_EPS
+        assert allocation.lam2 == 0
+
+    def test_adaptive_single_basis_funds_counting(self):
+        allocation = AdaptivePlanner().selection_allocation(
+            8, 100, 1.2, self.ALPHA2_EPS, SINGLE_BASIS_LAMBDA
+        )
+        assert allocation.single_basis
+        assert allocation.counting_bonus > 0
+        assert allocation.items_epsilon < self.ALPHA2_EPS
+
+    def test_adaptive_weights_pairs_up(self):
+        paper = PaperPlanner().selection_allocation(
+            20, 100, 1.2, self.ALPHA2_EPS, SINGLE_BASIS_LAMBDA
+        )
+        adaptive = AdaptivePlanner().selection_allocation(
+            20, 100, 1.2, self.ALPHA2_EPS, SINGLE_BASIS_LAMBDA
+        )
+        assert adaptive.lam2 == paper.lam2
+        assert adaptive.pairs_epsilon > paper.pairs_epsilon
+
+    def test_adaptive_no_pairs_available_degenerates_to_paper(self):
+        # λ at η·k: λ₂ = 0 → everything to items in both policies.
+        paper = PaperPlanner().selection_allocation(
+            130, 100, 1.2, self.ALPHA2_EPS, SINGLE_BASIS_LAMBDA
+        )
+        adaptive = AdaptivePlanner().selection_allocation(
+            130, 100, 1.2, self.ALPHA2_EPS, SINGLE_BASIS_LAMBDA
+        )
+        assert paper.items_epsilon == self.ALPHA2_EPS
+        assert adaptive.items_epsilon == self.ALPHA2_EPS
+
+    @given(
+        lam=st.integers(min_value=1, max_value=200),
+        k=st.integers(min_value=1, max_value=150),
+        eta_tenths=st.integers(min_value=10, max_value=15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_allocation_conservation_property(self, lam, k, eta_tenths):
+        eta = eta_tenths / 10.0
+        for planner in (PaperPlanner(), AdaptivePlanner()):
+            allocation = planner.selection_allocation(
+                lam, k, eta, 0.7, SINGLE_BASIS_LAMBDA
+            )
+            total = (
+                allocation.items_epsilon
+                + allocation.pairs_epsilon
+                + allocation.counting_bonus
+            )
+            assert total == pytest.approx(0.7, rel=1e-9)
+            assert 0 <= allocation.lam2 <= lam * (lam - 1) // 2
+
+
+class TestPairBudgetHeuristic:
+    def test_paper_worked_example(self):
+        assert pair_budget_size(20, 100, 1.2) == 44
+
+    def test_no_pairs_when_lambda_exceeds_eta_k(self):
+        assert pair_budget_size(130, 100, 1.2) == 0
+
+    def test_undamped_when_ratio_small(self):
+        assert pair_budget_size(110, 100, 1.2) == 10

@@ -16,8 +16,10 @@ from repro.errors import (
     DatasetFormatError,
     EmptySelectionError,
     IngestNotAllowedError,
+    InvalidFractionsError,
     OverloadedError,
     ReproError,
+    UnknownPlannerError,
     UnknownTenantError,
     ValidationError,
     error_to_wire,
@@ -36,6 +38,8 @@ class TestHierarchy:
             UnknownTenantError("t"),
             OverloadedError(4, 4),
             IngestNotAllowedError("t"),
+            UnknownPlannerError("p", ("paper",)),
+            InvalidFractionsError((0.0,), "zero"),
         ):
             assert isinstance(error, ReproError)
 
@@ -45,6 +49,8 @@ class TestHierarchy:
         assert isinstance(DatasetFormatError("x"), ValueError)
         assert isinstance(EmptySelectionError("x"), ValueError)
         assert isinstance(UnknownTenantError("t"), ValueError)
+        assert isinstance(UnknownPlannerError("p"), ValueError)
+        assert isinstance(InvalidFractionsError((0.0,), "zero"), ValueError)
 
     def test_budget_exceeded_is_a_budget_error(self):
         error = BudgetExceededError(2.0, 1.0)
@@ -76,6 +82,8 @@ class TestWireCodes:
         UnknownTenantError("t"): "unknown_tenant",
         OverloadedError(1, 1): "overloaded",
         IngestNotAllowedError("t"): "ingest_forbidden",
+        UnknownPlannerError("p", ("paper",)): "unknown_planner",
+        InvalidFractionsError((0.0,), "zero"): "validation_error",
     }
 
     def test_wire_codes_are_stable(self):
@@ -107,3 +115,18 @@ class TestWireCodes:
         payload = error_to_wire(IngestNotAllowedError("feedless"))
         assert payload["tenant"] == "feedless"
         assert "read-only" in payload["message"]
+
+    def test_unknown_planner_payload_lists_alternatives(self):
+        payload = error_to_wire(
+            UnknownPlannerError("bogus", ("adaptive", "custom", "paper"))
+        )
+        assert payload["error"] == "unknown_planner"
+        assert payload["planner"] == "bogus"
+        assert payload["known"] == ["adaptive", "custom", "paper"]
+        assert "bogus" in payload["message"]
+
+    def test_invalid_fractions_carries_structure(self):
+        error = InvalidFractionsError((0.5, 0.0), "fractions[1] is zero")
+        assert error.fractions == (0.5, 0.0)
+        assert error.reason == "fractions[1] is zero"
+        assert "fractions[1]" in str(error)

@@ -59,3 +59,10 @@ class TestExamples:
         assert "log at v0" in out
         assert "v2:" in out  # releases advanced with the feed
         assert "historical snapshot v0" in out
+
+    def test_planned_release(self):
+        out = run_example("planned_release.py", "--smoke")
+        assert "dry-run pricing" in out
+        assert "ledger untouched after planning" in out
+        assert "traced release" in out
+        assert "ledger after release" in out
