@@ -190,6 +190,72 @@ class PrivBasisSession:
             self._snapshot_version = target
         return self._snapshot_version
 
+    def restore(
+        self,
+        delta=None,
+        snapshot_version: Optional[int] = None,
+        num_releases: Optional[int] = None,
+        epsilon_spent: Optional[float] = None,
+    ) -> int:
+        """Warm-restore hook for a durable state store; returns the
+        version now served.
+
+        A restarted service rebuilds its base session from the
+        dataset loader and then calls this once per dataset to bring
+        it back to the pre-crash state recorded in
+        :class:`repro.store.state.StateStore`:
+
+        * ``delta`` — every transaction ingested since the base
+          snapshot (flattened across batches), applied through the
+          warm backend's O(Δ) ``extend`` path;
+        * ``snapshot_version`` — the version the store recorded; set
+          directly rather than incremented, because one flattened
+          ``extend`` replays what was originally many versioned
+          batches and releases must pin the *original* numbering;
+        * ``num_releases`` / ``epsilon_spent`` — the session's
+          informational serving counters (``/metrics`` continuity;
+          the authoritative per-tenant accounting lives in the
+          journaled tenant ledgers, not here).
+
+        Unlike :meth:`ingest`, nothing here re-journals: the state
+        being applied came *from* the journal.  Restoring is only
+        valid forward — a ``snapshot_version`` behind the current one
+        is rejected rather than silently rewinding the data.
+        """
+        if self._log is not None and delta is not None:
+            raise ValidationError(
+                "cannot restore a delta into a session attached to a "
+                "TransactionLog; restore the log and sync() instead"
+            )
+        if delta is not None:
+            if not isinstance(delta, TransactionDatabase):
+                delta = TransactionDatabase(
+                    delta, num_items=self.database.num_items
+                )
+            if delta.num_transactions:
+                self._backend.extend(delta)
+        if snapshot_version is not None:
+            if int(snapshot_version) < self._snapshot_version:
+                raise ValidationError(
+                    f"cannot restore snapshot_version "
+                    f"{snapshot_version} behind current "
+                    f"{self._snapshot_version}"
+                )
+            self._snapshot_version = int(snapshot_version)
+        if num_releases is not None:
+            if int(num_releases) < 0:
+                raise ValidationError(
+                    f"num_releases must be >= 0, got {num_releases!r}"
+                )
+            self._num_releases = int(num_releases)
+        if epsilon_spent is not None:
+            if not (float(epsilon_spent) >= 0):
+                raise ValidationError(
+                    f"epsilon_spent must be >= 0, got {epsilon_spent!r}"
+                )
+            self._epsilon_spent = float(epsilon_spent)
+        return self._snapshot_version
+
     def cache_info(self) -> Dict[str, Dict[str, int]]:
         """Hit/miss counters of the shared cache (telemetry)."""
         return self._backend.cache_info()

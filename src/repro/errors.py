@@ -140,6 +140,20 @@ class IngestNotAllowedError(ReproError):
         )
 
 
+class StateStoreError(ReproError):
+    """The durable state store is unusable or inconsistent.
+
+    Raised by :mod:`repro.store` when the ``--state-dir`` layout is
+    damaged beyond what write-ahead replay can tolerate — e.g. the
+    path is not a directory, a checkpoint file is unreadable, or a
+    replayed dataset log disagrees with the version it recorded.
+    Torn WAL *tails* are NOT this error: those are expected after a
+    crash and are dropped (and counted) during recovery.
+    """
+
+    wire_code = "state_store_error"
+
+
 class OverloadedError(ReproError):
     """The service's admission controller rejected a request.
 

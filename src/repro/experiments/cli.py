@@ -11,15 +11,20 @@ Usage::
     python -m repro.experiments.cli compare --planner adaptive --trace
     python -m repro.experiments.cli serve --port 8008  # network service
     python -m repro.experiments.cli ingest --tenant alice feed.dat
+    python -m repro.experiments.cli store inspect --state-dir ./state
+    python -m repro.experiments.cli store compact --state-dir ./state
 
 Dataset scale is controlled by ``REPRO_FULL_SCALE=1`` (paper-exact N)
 and the ε grid by ``--profile`` / ``REPRO_BENCH_PROFILE``.
 
 ``serve`` hands the remaining arguments to ``python -m repro.service``
-(the multi-tenant release service) — see that module for its flags.
+(the multi-tenant release service) — see that module for its flags,
+including ``--state-dir`` for durable ε ledgers.
 ``ingest`` streams a FIMI ``.dat`` transaction file (or stdin) into a
 *running* service via ``POST /v1/ingest``, batched so each request
 stays under the wire limit.
+``store`` inspects or compacts a ``--state-dir`` offline (the service
+need not be running); see ``docs/operations.md``.
 """
 
 from __future__ import annotations
@@ -47,6 +52,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv[:1] == ["ingest"]:
         return _run_ingest(argv[1:])
+    if argv[:1] == ["store"]:
+        return _run_store(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.cli",
         description="Regenerate PrivBasis paper tables and figures.",
@@ -251,6 +258,98 @@ def _run_ingest(argv: list[str]) -> int:
         f"{info['dataset']!r}: snapshot v{info['snapshot_version']}, "
         f"N={info['num_transactions']}"
     )
+    return 0
+
+
+def _run_store(argv: list[str]) -> int:
+    """Inspect or compact a durable ``--state-dir`` offline.
+
+    ``inspect`` prints per-tenant journaled ε, per-dataset recovered
+    versions, stored-result counts, WAL sizes, and any torn records a
+    previous crash left behind.  ``compact`` folds every WAL into its
+    snapshot/checkpoint file (bounding the next restart's replay
+    time) and reports the reclaimed bytes.  Neither command needs the
+    service to be running; both work on a copied directory.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.cli store",
+        description="Inspect or compact a durable state directory.",
+    )
+    parser.add_argument(
+        "action", choices=["inspect", "compact"],
+        help="'inspect' summarizes the store; 'compact' folds WALs "
+             "into snapshots/checkpoints",
+    )
+    parser.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="the service's durable state directory",
+    )
+    arguments = parser.parse_args(argv)
+
+    import os
+
+    from repro.store.state import StateStore
+
+    if not os.path.isdir(arguments.state_dir):
+        print(f"no state directory at {arguments.state_dir!r}")
+        return 1
+    with StateStore(arguments.state_dir) as store:
+        if arguments.action == "compact":
+            summary = store.compact()
+            ledger = summary["ledger"]
+            results = summary["results"]
+            print(
+                f"ledger:  {ledger['tenants']} tenant(s), WAL "
+                f"{ledger['wal_bytes_before']} -> "
+                f"{ledger['wal_bytes_after']} bytes"
+            )
+            print(
+                f"results: {results['results']} record(s), WAL "
+                f"{results['wal_bytes_before']} -> "
+                f"{results['wal_bytes_after']} bytes"
+            )
+            for entry in summary["datasets"]:
+                print(
+                    f"dataset {entry['dataset']}: v{entry['version']}, "
+                    f"{entry['rows']} appended row(s), WAL "
+                    f"{entry['wal_bytes_before']} -> "
+                    f"{entry['wal_bytes_after']} bytes"
+                )
+            return 0
+        view = store.inspect()
+        print(f"state dir: {view['state_dir']} (fsync={view['fsync']})")
+        ledger = view["ledger"]
+        torn = ledger["torn_records"]
+        print(
+            f"ledger: {len(ledger['tenants'])} tenant(s), "
+            f"{ledger['wal_bytes']} WAL bytes"
+            + (f", {torn} torn record(s) dropped" if torn else "")
+        )
+        for tenant, entry in ledger["tenants"].items():
+            print(
+                f"  {tenant:<16} spent = {entry['spent']:.6g} "
+                f"over {entry['debits']} debit(s)"
+            )
+        results = view["results"]
+        print(
+            f"results: {results['results']} stored release(s) "
+            f"({results['wal_bytes']} WAL bytes)"
+        )
+        for dataset, count in sorted(results["by_dataset"].items()):
+            print(f"  {dataset:<16} {count} release(s)")
+        if view["datasets"]:
+            print("dataset logs:")
+            for name, entry in view["datasets"].items():
+                checkpoint = (
+                    "checkpointed" if entry["checkpointed"] else "WAL only"
+                )
+                print(
+                    f"  {name:<16} v{entry['version']}, "
+                    f"{entry['appended_rows']} appended row(s), "
+                    f"{entry['wal_bytes']} WAL bytes ({checkpoint})"
+                )
+        else:
+            print("dataset logs: none (no ingests recorded)")
     return 0
 
 

@@ -47,6 +47,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm", action="store_true",
         help="pre-build every tenant dataset's session before serving",
     )
+    parser.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="durable state directory (write-ahead ε ledgers, ingest "
+             "logs, released results); restart with the same DIR to "
+             "recover pre-crash state — omit for in-memory only",
+    )
+    parser.add_argument(
+        "--fsync", choices=["batch", "always", "never"],
+        default="batch",
+        help="WAL fsync policy for --state-dir (default: batch — one "
+             "barrier per release; 'never' is for benchmarks only)",
+    )
     return parser
 
 
@@ -57,8 +69,24 @@ async def _run(arguments: argparse.Namespace) -> int:
         else TenantRegistry.demo()
     )
     service = PrivBasisService(
-        registry, max_inflight=arguments.max_inflight
+        registry,
+        max_inflight=arguments.max_inflight,
+        state_dir=arguments.state_dir,
+        fsync=arguments.fsync,
     )
+    if arguments.state_dir:
+        recovered = service.store.recovery
+        print(
+            f"durable state in {arguments.state_dir} "
+            f"(fsync={arguments.fsync}): recovered "
+            f"{len(recovered.tenants)} tenant ledger(s), "
+            f"{recovered.results} stored result(s)"
+            + (
+                f", dropped {recovered.torn_records} torn record(s)"
+                if recovered.torn_records
+                else ""
+            )
+        )
     if arguments.warm:
         print("warming sessions:", ", ".join(registry.datasets()))
         await service.warm_all()
@@ -69,7 +97,7 @@ async def _run(arguments: argparse.Namespace) -> int:
     )
     print("endpoints: POST /v1/release, POST /v1/release_batch, "
           "POST /v1/ingest, GET /v1/snapshot, GET /v1/budget, "
-          "GET /healthz, GET /metrics")
+          "GET /v1/results, GET /healthz, GET /metrics")
     try:
         await service.serve_forever()
     except asyncio.CancelledError:

@@ -36,10 +36,21 @@ One :class:`PrivBasisService` fronts one
   execution trace (``"trace": true``) and every served release feeds
   the per-stage counters ``/metrics`` reports under ``pipeline``.
 
+* **State is durable when ``state_dir`` is set.**  Every ε debit is
+  journaled write-ahead (durable *before* the noisy answer leaves the
+  process), every ingest batch is logged with its snapshot version,
+  and every released payload is stored under
+  ``(tenant, dataset, snapshot_version)``.  A restart with the same
+  ``state_dir`` restores the tenants' spent budgets, replays each
+  dataset to its pre-crash version, rehydrates serving counters and
+  the released-result history (``GET /v1/results``), and reports what
+  it recovered on ``/healthz``.  Without ``state_dir`` the service
+  runs fully in-memory, as before.  See ``docs/operations.md``.
+
 Endpoints: ``POST /v1/release``, ``POST /v1/release_batch``,
 ``POST /v1/ingest``, ``GET /v1/plan?tenant=…&k=…&epsilon=…``,
 ``GET /v1/snapshot?tenant=…``, ``GET /v1/budget?tenant=…``,
-``GET /healthz``, ``GET /metrics``.
+``GET /v1/results?tenant=…``, ``GET /healthz``, ``GET /metrics``.
 """
 
 from __future__ import annotations
@@ -84,7 +95,7 @@ DEFAULT_MAX_INFLIGHT = 8
 #: without bound.
 ROUTES = frozenset(
     {"/healthz", "/metrics", "/v1/budget", "/v1/ingest", "/v1/plan",
-     "/v1/release", "/v1/release_batch", "/v1/snapshot"}
+     "/v1/release", "/v1/release_batch", "/v1/results", "/v1/snapshot"}
 )
 
 
@@ -131,6 +142,19 @@ class PrivBasisService:
     max_inflight:
         Admission bound on concurrent releases; excess requests get
         HTTP 429 without queueing.
+    state_dir:
+        Optional durable state directory.  When set, the service
+        opens a :class:`~repro.store.state.StateStore` there, restores
+        every tenant's journaled ε debits into its ledger (installing
+        the write-ahead hook for future spends), replays each
+        dataset's ingest log when its session is built, and persists
+        debits / ingests / released results as it serves.  ``None``
+        (default) keeps all state in memory.
+    fsync:
+        WAL fsync policy for the state store (ignored without
+        ``state_dir``): ``"batch"`` (default; debits buffer and one
+        barrier per release makes them durable), ``"always"``, or
+        ``"never"`` (benchmarks only — crashes may then under-count).
     """
 
     def __init__(
@@ -139,6 +163,8 @@ class PrivBasisService:
         dataset_loader: Optional[Callable[[str], Any]] = None,
         backend_factory: Optional[Callable[[Any], Any]] = None,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        state_dir: Optional[str] = None,
+        fsync: str = "batch",
     ) -> None:
         if max_inflight < 1:
             raise ValidationError(
@@ -167,6 +193,18 @@ class PrivBasisService:
         self._backend_factory = backend_factory
         self._max_inflight = int(max_inflight)
         self._in_flight = 0
+        self._store = None
+        self._dataset_stores: Dict[str, Any] = {}
+        if state_dir is not None:
+            from repro.store.state import StateStore
+
+            # Opening the store replays the ledger journal; attaching
+            # it restores each tenant's spent history and makes every
+            # future spend write-ahead.  This happens before any
+            # request can be served, so there is no window where a
+            # recovered tenant could overspend.
+            self._store = StateStore(state_dir, fsync=fsync)
+            registry.attach_journal(self._store.ledger)
         self._coalescer = Coalescer()
         self._sessions: Dict[str, PrivBasisSession] = {}
         self._release_locks: Dict[str, asyncio.Lock] = {}
@@ -190,9 +228,27 @@ class PrivBasisService:
         """The warm session for ``dataset``, if one was built."""
         return self._sessions.get(dataset)
 
+    @property
+    def store(self):
+        """The :class:`~repro.store.state.StateStore`, or ``None``
+        when the service runs in-memory."""
+        return self._store
+
     # -- session lifecycle (coalesced cold starts) -----------------------
     async def _build_session(self, dataset: str) -> PrivBasisSession:
         loop = asyncio.get_running_loop()
+        # Snapshot the rehydration counters on the event loop thread:
+        # the result store's aggregates are mutated loop-side by
+        # _persist_release, and reading them from the executor while
+        # another dataset's release records could race the dicts.
+        restore_releases = restore_epsilon = None
+        if self._store is not None:
+            restore_releases = self._store.results.release_counts().get(
+                dataset, 0
+            )
+            restore_epsilon = self._store.results.epsilon_by_dataset().get(
+                dataset, 0.0
+            )
 
         def build() -> PrivBasisSession:
             database = self._loader(dataset)
@@ -203,6 +259,24 @@ class PrivBasisService:
             )
             session = PrivBasisSession(database, backend=backend)
             session.warm_up()
+            if self._store is not None:
+                # Warm restore: replay every ingested batch recorded
+                # for this dataset through the warm backend's O(Δ)
+                # extend path and restore the pre-crash snapshot
+                # version, then rehydrate the serving counters from
+                # the released-result store — the session comes back
+                # exactly where the crash left it, without recounting
+                # or respending.
+                log_store = self._store.dataset_log(dataset)
+                version, rows = log_store.replay()
+                session.restore(
+                    delta=rows if rows else None,
+                    snapshot_version=version,
+                    num_releases=restore_releases,
+                    epsilon_spent=restore_epsilon,
+                )
+                self._dataset_stores[dataset] = log_store
+                self._store.recovery.note_dataset(dataset, version)
             return session
 
         session = await loop.run_in_executor(None, build)
@@ -264,6 +338,38 @@ class PrivBasisService:
         async with self._lock_for(dataset):
             return await loop.run_in_executor(None, call)
 
+    def _persist_release(self, tenant: Tenant, result: Any) -> None:
+        """Append one released payload to the result WAL (no fsync).
+
+        Runs on the event loop thread, like the ε-debit append inside
+        :meth:`Tenant.charge` — keeping all appends loop-side is what
+        lets :meth:`_barrier` run on a worker thread without racing
+        them (the WAL's durability watermark only ever advances to
+        appends observed before the fsync).
+        """
+        if self._store is None:
+            return
+        self._store.results.record(
+            tenant.tenant_id,
+            tenant.dataset,
+            result.snapshot_version,
+            result_to_wire(result),
+        )
+
+    async def _barrier(self) -> None:
+        """Durability barrier before a response goes on the wire.
+
+        One fsync covers the write-ahead ε debit (appended at charge
+        time) and the stored result payload.  It runs in the executor
+        so a slow disk stalls only this response, not the event loop;
+        overlapping releases whose records an earlier barrier already
+        covered skip theirs entirely (group commit).
+        """
+        if self._store is None:
+            return
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._store.barrier)
+
     async def handle_release(
         self, body: Mapping[str, Any]
     ) -> Dict[str, Any]:
@@ -277,8 +383,10 @@ class PrivBasisService:
             # Charge on the event loop thread *before* any noise is
             # drawn: spends are serialized (no budget race) and a
             # failed release after the charge errs on the safe side —
-            # budget is forfeited, never refunded.
-            tenant.ledger.spend(
+            # budget is forfeited, never refunded.  With a state
+            # store attached the charge is write-ahead (the debit hits
+            # the WAL before the in-memory ledger).
+            tenant.charge(
                 request["epsilon"],
                 label=f"release k={request['k']}",
             )
@@ -291,6 +399,8 @@ class PrivBasisService:
         finally:
             self._release_slot()
         self._stage_metrics.record(result.trace)
+        self._persist_release(tenant, result)
+        await self._barrier()
         return {
             "tenant": tenant.tenant_id,
             "dataset": tenant.dataset,
@@ -310,10 +420,14 @@ class PrivBasisService:
         self._admit(weight=len(requests))
         try:
             session = await self.get_session(tenant.dataset)
-            if total > tenant.ledger.remaining:
-                raise BudgetExceededError(total, tenant.ledger.remaining)
+            # All-or-nothing admission against the journaled spent
+            # value (tenant.remaining), so a freshly recovered ledger
+            # and a long-running one refuse an oversized batch through
+            # the same check.
+            if total > tenant.remaining:
+                raise BudgetExceededError(total, tenant.remaining)
             for index, request in enumerate(requests):
-                tenant.ledger.spend(
+                tenant.charge(
                     request["epsilon"],
                     label=f"batch[{index}] k={request['k']}",
                 )
@@ -328,6 +442,8 @@ class PrivBasisService:
             self._release_slot(weight=len(requests))
         for result in results:
             self._stage_metrics.record(result.trace)
+            self._persist_release(tenant, result)
+        await self._barrier()
         return {
             "tenant": tenant.tenant_id,
             "dataset": tenant.dataset,
@@ -359,7 +475,33 @@ class PrivBasisService:
             session = await self.get_session(tenant.dataset)
 
             def append() -> Tuple[int, int]:
-                version = session.ingest(transactions)
+                log_store = self._dataset_stores.get(tenant.dataset)
+                if log_store is None:
+                    version = session.ingest(transactions)
+                else:
+                    # Journal-before-apply, under the dataset's
+                    # release lock (this closure runs inside it).
+                    # The batch is fully validated first — building
+                    # the delta checks vocabulary bounds — so a bad
+                    # batch answers 400 with neither store nor
+                    # session touched; after that, journal and apply
+                    # cannot diverge: if the WAL append fails the
+                    # session was never advanced, and a crash before
+                    # the sync barrier loses only an unacknowledged
+                    # batch from both sides at once.
+                    from repro.datasets.transactions import (
+                        TransactionDatabase,
+                    )
+
+                    delta = TransactionDatabase(
+                        transactions,
+                        num_items=session.database.num_items,
+                    )
+                    log_store.record_append(
+                        session.snapshot_version + 1, transactions
+                    )
+                    version = session.ingest(delta)
+                    log_store.sync()
                 return version, session.database.num_transactions
 
             version, total = await self._run_locked(
@@ -421,7 +563,7 @@ class PrivBasisService:
         plan = build_plan(
             params["k"], params["epsilon"], planner=params["planner"]
         )
-        remaining = tenant.ledger.remaining
+        remaining = tenant.remaining
         return {
             "tenant": tenant.tenant_id,
             "dataset": tenant.dataset,
@@ -438,20 +580,69 @@ class PrivBasisService:
             )
         return self._registry.get(tenant_id).snapshot()
 
+    def handle_results(self, query: Mapping[str, str]) -> Dict[str, Any]:
+        """``GET /v1/results?tenant=…[&limit=N]`` — the tenant's
+        stored releases.
+
+        Re-reads what the tenant already paid ε for — published noisy
+        payloads keyed by ``(dataset, snapshot_version)`` — which is
+        free post-processing under DP, so no budget is touched.
+        Serves the store's bounded most-recent window (the full
+        history stays in the WAL); ``limit`` further trims to the
+        newest N.  Only meaningful with persistence: without a state
+        store the endpoint answers 400 rather than pretending an
+        empty history is a durable one.
+        """
+        tenant_id = query.get("tenant", "")
+        if not tenant_id:
+            raise ValidationError(
+                "results queries need a ?tenant=<id> parameter"
+            )
+        tenant = self._registry.get(tenant_id)
+        if self._store is None:
+            raise ValidationError(
+                "the service runs without --state-dir; released "
+                "results are not persisted"
+            )
+        limit = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"])
+            except ValueError:
+                limit = -1
+            if limit < 1:
+                raise ValidationError(
+                    f"?limit= must be a positive integer, "
+                    f"got {query['limit']!r}"
+                )
+        return {
+            "tenant": tenant.tenant_id,
+            "dataset": tenant.dataset,
+            "results": self._store.results.results_for(
+                tenant.tenant_id, limit=limit
+            ),
+        }
+
     def handle_healthz(self) -> Dict[str, Any]:
-        """``GET /healthz`` — liveness plus which sessions are warm."""
+        """``GET /healthz`` — liveness, warm sessions, and (with a
+        state store) what the last restart recovered."""
+        persistence: Dict[str, Any] = {"enabled": self._store is not None}
+        if self._store is not None:
+            persistence["state_dir"] = str(self._store.root)
+            persistence["recovery"] = self._store.recovery.to_wire()
         return {
             "status": "ok",
             "datasets": self._registry.datasets(),
             "warm": sorted(self._sessions),
             "tenants": len(self._registry),
             "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "persistence": persistence,
         }
 
     def handle_metrics(self) -> Dict[str, Any]:
         """``GET /metrics`` — HTTP, pipeline, coalescer, and cache
         telemetry."""
-        return {
+        snapshot = {
             "http": self._metrics.snapshot(),
             "in_flight": self._in_flight,
             "max_inflight": self._max_inflight,
@@ -462,6 +653,12 @@ class PrivBasisService:
                 for name, session in sorted(self._sessions.items())
             },
         }
+        if self._store is not None:
+            snapshot["store"] = {
+                "ledger": self._store.ledger.stats(),
+                "results": self._store.results.stats(),
+            }
+        return snapshot
 
     # -- HTTP plumbing ---------------------------------------------------
     async def dispatch(
@@ -477,6 +674,8 @@ class PrivBasisService:
                 return 200, self.handle_budget(
                     request.query.get("tenant", "")
                 )
+            if request.path == "/v1/results" and request.method == "GET":
+                return 200, self.handle_results(request.query)
             if request.path == "/v1/plan" and request.method == "GET":
                 return 200, self.handle_plan(request.query)
             if request.path == "/v1/snapshot" and request.method == "GET":
@@ -606,6 +805,12 @@ class PrivBasisService:
                 *self._connections, return_exceptions=True
             )
         self._connections.clear()
+        if self._store is not None:
+            # Barrier + close every WAL handle.  Purely tidy-up: the
+            # durability contract never depends on a clean shutdown
+            # (that is the whole point), and the store reopens handles
+            # lazily if the service is started again.
+            self._store.close()
 
     @asynccontextmanager
     async def serving(self, host: str = "127.0.0.1", port: int = 0):

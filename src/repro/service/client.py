@@ -275,6 +275,25 @@ class ServiceClient:
             "GET", f"/v1/snapshot?tenant={tenant_id}"
         )
 
+    async def results(
+        self,
+        tenant: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """``GET /v1/results`` — the tenant's stored release history.
+
+        Answers from the server's durable result store (free
+        post-processing of already-paid-for payloads); the server
+        serves its bounded most-recent window and ``limit`` trims to
+        the newest N of those.  A server running without
+        ``--state-dir`` rejects the call with a ``validation_error``.
+        """
+        tenant_id = quote(self._tenant_id(tenant), safe="")
+        path = f"/v1/results?tenant={tenant_id}"
+        if limit is not None:
+            path += f"&limit={int(limit)}"
+        return await self._roundtrip("GET", path)
+
     async def budget(self, tenant: Optional[str] = None) -> Dict[str, Any]:
         """``GET /v1/budget`` for this client's tenant."""
         tenant_id = quote(self._tenant_id(tenant), safe="")

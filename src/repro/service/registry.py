@@ -22,12 +22,22 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 from repro.dp.budget import PrivacyBudget
-from repro.errors import UnknownTenantError, ValidationError
+from repro.errors import (
+    BudgetExceededError,
+    UnknownTenantError,
+    ValidationError,
+)
+
+if TYPE_CHECKING:  # service → store is a runtime-optional dependency
+    from repro.store.ledger import LedgerJournal
 
 __all__ = ["Tenant", "TenantRegistry"]
+
+#: Relative tolerance for admission checks, matching the ledger's.
+_REL_TOL = 1e-9
 
 
 @dataclass
@@ -46,6 +56,9 @@ class Tenant:
     epsilon_limit: float
     ingest: bool = True
     ledger: PrivacyBudget = field(init=False)
+    _journal: Optional["LedgerJournal"] = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.tenant_id or not isinstance(self.tenant_id, str):
@@ -59,6 +72,71 @@ class Tenant:
                 f"positive, got {self.epsilon_limit!r}"
             )
         self.ledger = PrivacyBudget(float(self.epsilon_limit))
+
+    # -- durable accounting ---------------------------------------------
+    def attach_journal(self, journal: "LedgerJournal") -> None:
+        """Bind this tenant's ledger to a durable journal.
+
+        Two effects, in order: every debit the journal already holds
+        for this tenant is *restored* into the in-memory ledger (the
+        recovery path), then the ledger's write-ahead hook is
+        installed so every future :meth:`charge` reaches the journal
+        before it reaches memory (the live path).  From here on
+        :attr:`spent` reads the journaled value, so both paths answer
+        admission checks from the same number.
+        """
+        restored = journal.entries(self.tenant_id)
+        if restored:
+            self.ledger.restore_entries(restored)
+        tenant_id = self.tenant_id
+        self.ledger.attach_journal(
+            lambda label, epsilon: journal.debit(
+                tenant_id, epsilon, label
+            )
+        )
+        self._journal = journal
+
+    @property
+    def spent(self) -> float:
+        """ε consumed so far — the **journaled** value when a durable
+        journal is attached, the in-memory ledger otherwise.
+
+        This is the single spent figure every admission check reads.
+        Comparing against the journal (not an in-memory snapshot)
+        means a freshly recovered service and a long-running one
+        enforce ``epsilon_limit`` through the same code path, and the
+        two sources cannot silently diverge.
+        """
+        if self._journal is not None:
+            return self._journal.spent(self.tenant_id)
+        return self.ledger.spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available under ``epsilon_limit``; never
+        negative (a recovered over-count simply clamps to zero)."""
+        return max(0.0, float(self.epsilon_limit) - self.spent)
+
+    def charge(self, epsilon: float, label: str = "") -> float:
+        """Spend ``epsilon`` against this tenant's durable ledger.
+
+        The exhausted-budget check compares against :attr:`spent`
+        (journaled when durable) *before* the ledger records
+        anything; the ledger's own overdraft check then re-verifies
+        against its in-memory state, which journal attachment keeps
+        in lockstep.  With a journal attached the debit is
+        write-ahead: it reaches the WAL before the in-memory entry
+        exists, and the caller must run the store's durability
+        barrier before releasing the corresponding noisy answer.
+        """
+        if not (epsilon > 0):
+            raise ValidationError(
+                f"epsilon must be positive, got {epsilon!r}"
+            )
+        tolerance = _REL_TOL * float(self.epsilon_limit)
+        if epsilon > self.remaining + tolerance:
+            raise BudgetExceededError(epsilon, self.remaining)
+        return self.ledger.spend(epsilon, label=label)
 
     def snapshot(self) -> Dict[str, object]:
         """The ``/v1/budget`` payload for this tenant."""
@@ -121,6 +199,19 @@ class TenantRegistry:
     def tenant_ids(self) -> List[str]:
         """All registered tenant ids, in registration order."""
         return list(self._tenants)
+
+    def attach_journal(self, journal: "LedgerJournal") -> None:
+        """Bind every tenant's ledger to a durable journal.
+
+        Call once at service startup, before any release is served:
+        each tenant's journaled debit history is restored and future
+        spends become write-ahead (see :meth:`Tenant.attach_journal`).
+        Journal entries for tenants no longer in the config are left
+        in the journal untouched — history is never dropped just
+        because a tenant was removed.
+        """
+        for tenant in self._tenants.values():
+            tenant.attach_journal(journal)
 
     def datasets(self) -> List[str]:
         """Distinct datasets referenced by tenants (session pre-warm)."""

@@ -1,0 +1,235 @@
+"""Durable per-tenant ε ledgers: write-ahead debits + snapshots.
+
+The privacy guarantee of the whole service rests on sequential
+composition over each tenant's *spent* ε.  That number must survive
+crashes: if a restart reset it to zero, a tenant could spend its
+``epsilon_limit`` again, and the (Σεᵢ)-DP bound the ledger exists to
+enforce would be void.
+
+:class:`LedgerJournal` makes the ledger durable with exactly one
+invariant — **spent ε on disk is always ≥ ε behind released answers**:
+
+* every debit is appended to the WAL *before* the noisy answer is
+  released (the caller appends via :meth:`debit`, then calls
+  :meth:`sync` before handing the answer out);
+* a crash between the WAL append and the release therefore *over*-
+  counts (budget forfeited, answer never published) — the safe
+  direction — and can never under-count;
+* recovery replays the snapshot plus the WAL and the rebuilt spent
+  value is what admission checks compare against.
+
+Compaction folds the WAL into ``ledger.snapshot.json`` (written
+atomically) and truncates the WAL, bounding replay time for
+long-lived deployments without changing any recovered value.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.errors import StateStoreError, ValidationError
+from repro.store.wal import WriteAheadLog, fsync_directory
+
+__all__ = ["LedgerJournal"]
+
+#: WAL filename inside the state directory.
+LEDGER_WAL = "ledger.wal"
+
+#: Compacted snapshot filename (atomic-replace target).
+LEDGER_SNAPSHOT = "ledger.snapshot.json"
+
+
+class LedgerJournal:
+    """Durable record of every tenant's ε debits.
+
+    Parameters
+    ----------
+    directory:
+        The state directory; the journal owns ``ledger.wal`` and
+        ``ledger.snapshot.json`` inside it.
+    fsync:
+        Passed to the underlying :class:`~repro.store.wal.WriteAheadLog`
+        (``"batch"`` by default: debits buffer, the pre-release
+        barrier makes them durable).
+
+    The journal keeps an in-memory aggregation (per-tenant entry
+    lists) that is always exactly what replaying the files would
+    produce, so live admission checks and post-crash recovery read
+    the same value through the same code path.
+    """
+
+    def __init__(self, directory, fsync: str = "batch") -> None:
+        self._directory = Path(directory)
+        self._snapshot_path = self._directory / LEDGER_SNAPSHOT
+        self._wal = WriteAheadLog(
+            self._directory / LEDGER_WAL, fsync=fsync
+        )
+        self._entries: Dict[str, List[Tuple[str, float]]] = {}
+        #: Running per-tenant totals, kept in lockstep with
+        #: ``_entries`` so admission checks are O(1) instead of
+        #: re-summing a lifetime of debits per request.
+        self._totals: Dict[str, float] = {}
+        self._torn_records = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if self._snapshot_path.exists():
+            try:
+                with open(
+                    self._snapshot_path, "r", encoding="utf-8"
+                ) as handle:
+                    snapshot = json.load(handle)
+            except (OSError, json.JSONDecodeError) as error:
+                raise StateStoreError(
+                    f"unreadable ledger snapshot "
+                    f"{str(self._snapshot_path)!r}: {error}"
+                )
+            for tenant, entries in snapshot.get("tenants", {}).items():
+                self._entries[tenant] = [
+                    (str(entry["label"]), float(entry["epsilon"]))
+                    for entry in entries
+                ]
+        replay = self._wal.replay()
+        self._torn_records = replay.torn_records
+        for record in replay:
+            if record.get("type") != "debit":
+                continue
+            self._entries.setdefault(str(record["tenant"]), []).append(
+                (str(record.get("label", "")), float(record["epsilon"]))
+            )
+        self._totals = {
+            tenant: math.fsum(epsilon for _, epsilon in entries)
+            for tenant, entries in self._entries.items()
+        }
+
+    @property
+    def torn_records(self) -> int:
+        """Damaged trailing WAL records dropped during recovery."""
+        return self._torn_records
+
+    # ------------------------------------------------------------------
+    # Live accounting
+    # ------------------------------------------------------------------
+    def debit(
+        self, tenant_id: str, epsilon: float, label: str = ""
+    ) -> None:
+        """Record one ε debit (write-ahead; durable at next barrier).
+
+        Appends to the WAL *and* the in-memory aggregation, so
+        :meth:`spent` reflects the debit immediately — the caller must
+        still :meth:`sync` before releasing the corresponding noisy
+        answer.
+        """
+        if not tenant_id:
+            raise ValidationError("debit needs a non-empty tenant id")
+        if not (epsilon > 0) or math.isinf(epsilon):
+            raise ValidationError(
+                f"debit epsilon must be positive and finite, "
+                f"got {epsilon!r}"
+            )
+        self._wal.append(
+            {
+                "type": "debit",
+                "tenant": str(tenant_id),
+                "epsilon": float(epsilon),
+                "label": str(label),
+            }
+        )
+        tenant_id = str(tenant_id)
+        self._entries.setdefault(tenant_id, []).append(
+            (str(label), float(epsilon))
+        )
+        self._totals[tenant_id] = self._totals.get(
+            tenant_id, 0.0
+        ) + float(epsilon)
+
+    def sync(self) -> None:
+        """Durability barrier — call before releasing a noisy answer."""
+        self._wal.sync()
+
+    def spent(self, tenant_id: str) -> float:
+        """Journaled ε spent by ``tenant_id`` (0.0 if never seen).
+
+        This is *the* spent value: admission checks compare against
+        it live, and recovery rebuilds it from disk, so the two paths
+        cannot diverge.  O(1): a running total maintained per debit,
+        exactly re-derived (``math.fsum``) at every load.
+        """
+        return self._totals.get(tenant_id, 0.0)
+
+    def entries(self, tenant_id: str) -> List[Tuple[str, float]]:
+        """The ``(label, epsilon)`` debit history for one tenant."""
+        return list(self._entries.get(tenant_id, []))
+
+    def tenant_ids(self) -> List[str]:
+        """Every tenant with at least one journaled debit."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> Dict[str, object]:
+        """Fold the WAL into the snapshot file; returns a summary.
+
+        The snapshot is written to a temp file, fsynced, and renamed
+        into place *before* the WAL is truncated, so a crash at any
+        point leaves a state that replays to the same ledger.
+        """
+        wal_bytes_before = self._wal.size_bytes()
+        snapshot = {
+            "tenants": {
+                tenant: [
+                    {"label": label, "epsilon": epsilon}
+                    for label, epsilon in entries
+                ]
+                for tenant, entries in self._entries.items()
+            }
+        }
+        self._directory.mkdir(parents=True, exist_ok=True)
+        temp = self._snapshot_path.with_suffix(".json.tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self._snapshot_path)
+        # Flush the rename before truncating the WAL: power loss must
+        # never surface the empty WAL alongside the *old* snapshot.
+        fsync_directory(self._directory)
+        self._wal.rewrite(())
+        return {
+            "tenants": len(self._entries),
+            "wal_bytes_before": wal_bytes_before,
+            "wal_bytes_after": self._wal.size_bytes(),
+        }
+
+    def close(self) -> None:
+        """Barrier and close the underlying WAL handle."""
+        self._wal.close()
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-serializable journal telemetry (``store inspect``)."""
+        return {
+            "tenants": {
+                tenant: {
+                    "spent": self.spent(tenant),
+                    "debits": len(entries),
+                }
+                for tenant, entries in sorted(self._entries.items())
+            },
+            "wal_bytes": self._wal.size_bytes(),
+            "torn_records": self._torn_records,
+            "fsyncs": self._wal.syncs,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LedgerJournal({str(self._directory)!r}, "
+            f"tenants={len(self._entries)})"
+        )

@@ -1,0 +1,250 @@
+"""Durable store of released results, keyed by (tenant, dataset,
+snapshot_version).
+
+Everything the service has already released is public: a noisy result
+was paid for with ε at release time, and *re-reading* it is free
+post-processing under differential privacy.  Persisting released
+payloads therefore costs no privacy and buys two operational
+properties:
+
+* **warm restarts** — after a crash the service restores each
+  session's release counters and can answer "what did I already
+  publish for this tenant on this snapshot?" without recounting (or,
+  worse, without being tempted to re-run a mechanism and spend fresh
+  ε to reconstruct an answer that was already bought);
+* **auditability** — the store is the operator's record tying every
+  published output to the tenant that requested it, the ε it cost,
+  and the exact data version it was computed on.
+
+Records are appended to one WAL *after* the debit record (the debit
+is the safety-critical one); a crash that loses a trailing result
+record loses only a cache entry, never accounting.
+
+Memory model: the **full** history lives in the WAL on disk; in
+memory the store keeps exact running aggregates (release counts and ε
+sums per dataset — O(1) per record, never evicted) plus a bounded
+per-tenant window of the most recent payloads
+(:data:`RESULT_RETENTION`) for ``GET /v1/results``.  A service that
+has released millions of answers does not hold millions of payloads
+resident.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.store.wal import WriteAheadLog
+
+__all__ = ["ResultStore", "RESULT_RETENTION"]
+
+#: WAL filename inside the state directory.
+RESULTS_WAL = "results.wal"
+
+#: Most-recent released payloads kept in memory per tenant (the
+#: window ``results_for`` serves).  Older payloads remain in the WAL
+#: — bounded retention caps resident memory, not the durable record.
+RESULT_RETENTION = 1024
+
+
+class ResultStore:
+    """Append-only store of released result payloads.
+
+    Parameters
+    ----------
+    directory:
+        The state root; the store owns ``results.wal`` inside it.
+    fsync:
+        WAL fsync policy.  Results ride the same pre-release barrier
+        as ε debits (one fsync covers both), so ``"batch"`` is right.
+    retention:
+        In-memory most-recent window per tenant (see module
+        docstring); aggregates stay exact regardless.
+    """
+
+    def __init__(
+        self, directory, fsync: str = "batch",
+        retention: int = RESULT_RETENTION,
+    ) -> None:
+        if retention < 1:
+            raise ValidationError(
+                f"retention must be >= 1, got {retention}"
+            )
+        self._wal = WriteAheadLog(
+            Path(directory) / RESULTS_WAL, fsync=fsync
+        )
+        self._retention = retention
+        #: Per-tenant most-recent entries, oldest first, bounded.
+        self._by_tenant: Dict[str, Deque[Dict[str, Any]]] = {}
+        #: Exact running aggregates over the *full* history.
+        self._counts: Dict[str, int] = {}
+        self._epsilon: Dict[str, float] = {}
+        self._count = 0
+        self._torn_records = 0
+        self._load()
+
+    def _load(self) -> None:
+        replay = self._wal.replay()
+        self._torn_records = replay.torn_records
+        for record in replay:
+            if record.get("type") != "result":
+                continue
+            self._remember(
+                str(record["tenant"]),
+                str(record["dataset"]),
+                int(record["snapshot_version"]),
+                dict(record["payload"]),
+            )
+
+    def _remember(
+        self, tenant: str, dataset: str, version: int,
+        payload: Dict[str, Any],
+    ) -> None:
+        window = self._by_tenant.get(tenant)
+        if window is None:
+            window = self._by_tenant[tenant] = deque(
+                maxlen=self._retention
+            )
+        window.append(
+            {
+                "dataset": dataset,
+                "snapshot_version": version,
+                "payload": payload,
+            }
+        )
+        self._counts[dataset] = self._counts.get(dataset, 0) + 1
+        epsilon = payload.get("epsilon", 0.0)
+        if isinstance(epsilon, (int, float)) and not isinstance(
+            epsilon, bool
+        ):
+            self._epsilon[dataset] = self._epsilon.get(
+                dataset, 0.0
+            ) + float(epsilon)
+        self._count += 1
+
+    @property
+    def torn_records(self) -> int:
+        """Damaged trailing WAL records dropped during recovery."""
+        return self._torn_records
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Recording and lookup
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        tenant: str,
+        dataset: str,
+        snapshot_version: Optional[int],
+        payload: Dict[str, Any],
+    ) -> None:
+        """Persist one released payload under its serving key.
+
+        ``snapshot_version`` may be ``None`` for releases over a
+        static database (stored as version 0).  Durable at the next
+        barrier — the caller's pre-release :meth:`sync` covers it.
+        """
+        if not tenant or not dataset:
+            raise ValidationError(
+                "result records need non-empty tenant and dataset"
+            )
+        version = int(snapshot_version or 0)
+        self._wal.append(
+            {
+                "type": "result",
+                "tenant": str(tenant),
+                "dataset": str(dataset),
+                "snapshot_version": version,
+                "payload": dict(payload),
+            }
+        )
+        self._remember(str(tenant), str(dataset), version, dict(payload))
+
+    def sync(self) -> None:
+        """Durability barrier (shared with the ledger's, typically)."""
+        self._wal.sync()
+
+    def get(
+        self, tenant: str, dataset: str, snapshot_version: int
+    ) -> List[Dict[str, Any]]:
+        """Retained payloads for one exact (tenant, dataset, version)."""
+        version = int(snapshot_version)
+        return [
+            entry["payload"]
+            for entry in self._by_tenant.get(tenant, ())
+            if entry["dataset"] == dataset
+            and entry["snapshot_version"] == version
+        ]
+
+    def results_for(
+        self, tenant: str, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """The tenant's retained release history, oldest first.
+
+        Each entry carries ``dataset`` / ``snapshot_version`` /
+        ``payload`` so a client can re-read its published history
+        (free post-processing) after a restart.  Serves the bounded
+        in-memory window (the ``retention`` most recent releases);
+        ``limit`` trims to the newest ``limit`` of those.
+        """
+        window = list(self._by_tenant.get(tenant, ()))
+        if limit is not None and limit >= 0:
+            window = window[len(window) - min(limit, len(window)):]
+        return window
+
+    def release_counts(self) -> Dict[str, int]:
+        """Per-dataset released-result counts (session rehydration).
+
+        An O(1) copy of a running aggregate — safe to call from any
+        thread (a dict copy is atomic under the GIL) and exact over
+        the full history, not just the retained window.
+        """
+        return dict(self._counts)
+
+    def epsilon_by_dataset(self) -> Dict[str, float]:
+        """Summed released ε per dataset (session ledger rehydration).
+
+        Running aggregate of the ``epsilon`` field each wire payload
+        carries (payloads without one contribute zero); same O(1) /
+        full-history semantics as :meth:`release_counts`.
+        """
+        return dict(self._epsilon)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def compact(self) -> Dict[str, object]:
+        """Rewrite the WAL without torn tails; returns a summary.
+
+        Reads the full history back from disk (the in-memory window
+        is bounded and must not become the durable record), so this
+        is an offline/maintenance operation, not a hot-path one.
+        """
+        wal_bytes_before = self._wal.size_bytes()
+        records = list(self._wal.replay())
+        self._wal.rewrite(records)
+        return {
+            "results": self._count,
+            "wal_bytes_before": wal_bytes_before,
+            "wal_bytes_after": self._wal.size_bytes(),
+        }
+
+    def close(self) -> None:
+        """Barrier and close the underlying WAL handle."""
+        self._wal.close()
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-serializable store telemetry (``store inspect``)."""
+        return {
+            "results": self._count,
+            "by_dataset": self.release_counts(),
+            "wal_bytes": self._wal.size_bytes(),
+            "torn_records": self._torn_records,
+        }
+
+    def __repr__(self) -> str:
+        return f"ResultStore(results={self._count})"

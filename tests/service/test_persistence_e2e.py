@@ -1,0 +1,266 @@
+"""End-to-end restart test for the durable service (the acceptance
+scenario for persistence):
+
+    serve → spend ε across two tenants → ingest a delta → kill the
+    process → restart with the same ``--state-dir`` → ledgers,
+    snapshot_version, and stored results match the pre-crash state,
+    and an over-limit tenant still gets 403.
+
+"Kill" is modeled by abandoning the first service instance without
+any graceful state flush — every durable guarantee must come from the
+write-ahead discipline alone, which is exactly what a ``kill -9``
+leaves behind (the OS keeps flushed file contents of a dead process).
+A second instance then recovers from the same directory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import BudgetExceededError, ValidationError
+from repro.service import PrivBasisService, ServiceClient, TenantRegistry
+
+DATASET = "mushroom"  # registry name; data comes from the fake loader
+
+
+def small_database(seed: int = 5) -> TransactionDatabase:
+    """A 200-transaction database with a planted frequent block."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(200):
+        row = set()
+        if rng.random() < 0.6:
+            row.update(i for i in range(5) if rng.random() < 0.9)
+        row.update(int(item) for item in rng.choice(15, size=3))
+        rows.append(sorted(row))
+    return TransactionDatabase(rows, num_items=15)
+
+
+def make_service(state_dir) -> PrivBasisService:
+    registry = TenantRegistry.from_mapping(
+        {
+            "alice": {"dataset": DATASET, "epsilon_limit": 3.0},
+            "bob": {"dataset": DATASET, "epsilon_limit": 1.0},
+        }
+    )
+    return PrivBasisService(
+        registry,
+        dataset_loader=lambda name: small_database(),
+        state_dir=str(state_dir),
+    )
+
+
+class TestRestartRecovery:
+    def test_full_crash_restart_scenario(self, tmp_path):
+        state_dir = tmp_path / "state"
+
+        async def before_crash():
+            service = make_service(state_dir)
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    first = await c.release(k=8, epsilon=0.5)
+                    await c.ingest([[0, 1, 2], [3, 4]])
+                    second = await c.release(k=8, epsilon=0.25)
+                    await c.release(k=5, epsilon=0.9, tenant="bob")
+                    alice = await c.budget()
+                    bob = await c.budget(tenant="bob")
+                    results = await c.results()
+                    snapshot = await c.snapshot()
+            # No graceful flush beyond serving: the context exit
+            # closes sockets, and WAL durability already happened
+            # per-request.  The instance is now "killed".
+            return first, second, alice, bob, results, snapshot
+
+        first, second, alice, bob, results, snapshot = asyncio.run(
+            before_crash()
+        )
+        assert first["snapshot_version"] == 0
+        assert second["snapshot_version"] == 1
+
+        async def after_restart():
+            service = make_service(state_dir)
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    health = await c.healthz()
+                    snapshot = await c.snapshot()  # builds the session
+                    alice = await c.budget()
+                    bob = await c.budget(tenant="bob")
+                    results = await c.results()
+                    health_warm = await c.healthz()
+                    metrics = await c.metrics()
+                    # bob has 0.1 left of its 1.0 limit: over-limit
+                    # requests must still be refused after recovery.
+                    with pytest.raises(BudgetExceededError) as info:
+                        await c.release(k=5, epsilon=0.5, tenant="bob")
+                    # A release that fits still works, on the
+                    # recovered snapshot.
+                    third = await c.release(k=8, epsilon=0.25)
+            return (
+                health, snapshot, alice, bob, results, health_warm,
+                metrics, info.value, third,
+            )
+
+        (
+            health, snapshot2, alice2, bob2, results2, health_warm,
+            metrics, refusal, third,
+        ) = asyncio.run(after_restart())
+
+        # -- ledgers match pre-crash state exactly ---------------------
+        assert alice2["ledger"]["spent"] == pytest.approx(
+            alice["ledger"]["spent"]
+        ) == pytest.approx(0.75)
+        assert bob2["ledger"]["spent"] == pytest.approx(
+            bob["ledger"]["spent"]
+        ) == pytest.approx(0.9)
+        assert [
+            entry["epsilon"] for entry in alice2["ledger"]["entries"]
+        ] == [
+            entry["epsilon"] for entry in alice["ledger"]["entries"]
+        ]
+
+        # -- the data came back at the pre-crash version ---------------
+        assert snapshot2["snapshot_version"] == (
+            snapshot["snapshot_version"]
+        ) == 1
+        assert snapshot2["num_transactions"] == (
+            snapshot["num_transactions"]
+        ) == 202
+
+        # -- stored results match pre-crash, bit for bit ---------------
+        assert results2["results"] == results["results"]
+        assert len(results2["results"]) == 2  # alice's two releases
+        assert [
+            entry["snapshot_version"] for entry in results2["results"]
+        ] == [0, 1]
+
+        # -- recovery is reported on /healthz --------------------------
+        persistence = health["persistence"]
+        assert persistence["enabled"] is True
+        assert persistence["recovery"]["tenants"] == {
+            "alice": pytest.approx(0.75),
+            "bob": pytest.approx(0.9),
+        }
+        assert persistence["recovery"]["results"] == 3
+        assert persistence["recovery"]["torn_records"] == 0
+        # Dataset replay is lazy: visible once the session is warm.
+        assert health_warm["persistence"]["recovery"]["datasets"] == {
+            DATASET: 1
+        }
+
+        # -- serving counters were rehydrated, not recounted ----------
+        stats = metrics["datasets"][DATASET]
+        assert stats["num_releases"] == 3  # 2 alice + 1 bob, pre-crash
+        assert stats["epsilon_spent"] == pytest.approx(1.65)
+
+        # -- over-limit tenant still refused, same structured error ----
+        assert refusal.remaining == pytest.approx(0.1)
+        # -- and the recovered service keeps serving -------------------
+        assert third["snapshot_version"] == 1
+
+    def test_recovered_spends_compose_across_restarts(self, tmp_path):
+        # alice spends 2.0 before the crash and has 1.0 left; a
+        # post-restart attempt to spend 1.5 must fail even though a
+        # fresh in-memory ledger would have allowed it.  This is the
+        # exact attack a restart-resets-the-ledger bug enables.
+        state_dir = tmp_path / "state"
+
+        async def run_one(epsilon, expect_refusal):
+            service = make_service(state_dir)
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    if expect_refusal:
+                        with pytest.raises(BudgetExceededError):
+                            await c.release(k=5, epsilon=epsilon)
+                    else:
+                        await c.release(k=5, epsilon=epsilon)
+                    return await c.budget()
+
+        before = asyncio.run(run_one(2.0, expect_refusal=False))
+        assert before["ledger"]["spent"] == pytest.approx(2.0)
+        after = asyncio.run(run_one(1.5, expect_refusal=True))
+        # The refused attempt charged nothing; the journal still holds
+        # exactly the pre-restart spend.
+        assert after["ledger"]["spent"] == pytest.approx(2.0)
+
+    def test_results_endpoint_requires_persistence(self, tmp_path):
+        async def scenario():
+            registry = TenantRegistry.from_mapping(
+                {"alice": {"dataset": DATASET, "epsilon_limit": 1.0}}
+            )
+            service = PrivBasisService(
+                registry, dataset_loader=lambda name: small_database()
+            )
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    health = await c.healthz()
+                    with pytest.raises(ValidationError, match="state-dir"):
+                        await c.results()
+            return health
+
+        health = asyncio.run(scenario())
+        assert health["persistence"] == {"enabled": False}
+
+    def test_rejected_ingest_leaves_store_and_session_aligned(
+        self, tmp_path
+    ):
+        # An out-of-vocabulary batch must answer 400 with *neither*
+        # the session nor the dataset log advanced — journal-before-
+        # apply with up-front validation — so later good ingests keep
+        # working and survive a restart at the right version.
+        state_dir = tmp_path / "state"
+
+        async def first_run():
+            service = make_service(state_dir)
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    with pytest.raises(ValidationError):
+                        await c.ingest([[999]])  # outside |I| = 15
+                    ok = await c.ingest([[0, 1]])
+                    return ok
+
+        ok = asyncio.run(first_run())
+        assert ok["snapshot_version"] == 1
+
+        async def second_run():
+            service = make_service(state_dir)
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    snapshot = await c.snapshot()
+                    again = await c.ingest([[2, 3]])
+            return snapshot, again
+
+        snapshot, again = asyncio.run(second_run())
+        assert snapshot["snapshot_version"] == 1
+        assert snapshot["num_transactions"] == 201
+        assert again["snapshot_version"] == 2
+
+    def test_torn_ledger_tail_is_reported_and_dropped(self, tmp_path):
+        state_dir = tmp_path / "state"
+
+        async def spend_once():
+            service = make_service(state_dir)
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    await c.release(k=5, epsilon=0.5)
+
+        asyncio.run(spend_once())
+        # Crash damage: a partial record at the end of the ledger WAL.
+        with open(state_dir / "ledger.wal", "ab") as handle:
+            handle.write(b'{"seq":99,"crc":1,"payl')
+
+        async def restart():
+            service = make_service(state_dir)
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    health = await c.healthz()
+                    budget = await c.budget()
+            return health, budget
+
+        health, budget = asyncio.run(restart())
+        assert health["persistence"]["recovery"]["torn_records"] == 1
+        # The intact prefix survived untouched.
+        assert budget["ledger"]["spent"] == pytest.approx(0.5)
