@@ -1,0 +1,256 @@
+"""Counting-plane benchmark: threads vs processes × worker counts.
+
+Sweeps :class:`~repro.engine.sharded.ShardedBackend` execution modes
+over the stage-shaped query mix of one PrivBasis release — a pairwise
+sweep over a λ-pool (SelectPairs), a batch of ``2^ℓ`` bin histograms
+(BasisFreq), and a batch of conjunction supports (the TF measurement
+phase) — on a kosarak-shaped synthetic database.  Every configuration
+must answer **bit-identically** to the single-process
+:class:`~repro.engine.bitmap.BitmapBackend` reference (asserted), and
+per-kind medians land in ``BENCH_counting.json`` together with the
+machine's ``cpu_count`` so a reader can judge the speedups against
+the cores that were actually available.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke   # CI
+
+``--smoke`` shrinks the data and rounds so CI exercises the full
+publish/dispatch/merge path — including the equivalence assert — in a
+few seconds on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.synthetic import QuestConfig, generate_quest
+from repro.engine import BitmapBackend, ShardedBackend
+
+CONFIG = QuestConfig(
+    num_transactions=120_000,
+    num_items=400,
+    avg_transaction_length=8.0,
+    avg_pattern_length=4.0,
+    num_patterns=60,
+)
+SHARD_SIZE, ROUNDS = 16_384, 3
+
+SMOKE_CONFIG = QuestConfig(
+    num_transactions=3_000,
+    num_items=80,
+    avg_transaction_length=8.0,
+    avg_pattern_length=4.0,
+    num_patterns=20,
+)
+SMOKE_SHARD_SIZE, SMOKE_ROUNDS = 512, 1
+
+#: The stage-shaped query mix (sizes follow the paper's regimes:
+#: λ-pools of ~λ items, bases of length ≤ 8, k-sized measure batches).
+POOL_SIZE = 20
+NUM_BASES, BASIS_LENGTH = 6, 7
+NUM_CONJUNCTIONS = 60
+
+
+def make_queries(num_items: int, rng: np.random.Generator):
+    pool = sorted(
+        int(item)
+        for item in rng.choice(num_items, size=POOL_SIZE, replace=False)
+    )
+    bases = [
+        [
+            int(item)
+            for item in rng.choice(
+                num_items, size=BASIS_LENGTH, replace=False
+            )
+        ]
+        for _ in range(NUM_BASES)
+    ]
+    itemsets = [
+        tuple(
+            sorted(
+                int(item)
+                for item in rng.choice(num_items, size=size,
+                                       replace=False)
+            )
+        )
+        for size in rng.integers(1, 4, size=NUM_CONJUNCTIONS)
+    ]
+    return pool, bases, itemsets
+
+
+def run_queries(backend, pool, bases, itemsets) -> Dict[str, object]:
+    """One release's worth of counting, timed per stage."""
+    timings: Dict[str, float] = {}
+    started = time.perf_counter()
+    pairs = backend.pairwise_supports(pool)
+    timings["pairwise_supports_s"] = time.perf_counter() - started
+    started = time.perf_counter()
+    bins = backend.bin_counts_batch(bases)
+    timings["bin_counts_batch_s"] = time.perf_counter() - started
+    started = time.perf_counter()
+    conjunctions = backend.conjunction_supports(itemsets)
+    timings["conjunction_supports_s"] = time.perf_counter() - started
+    return {
+        "timings": timings,
+        "answers": (pairs, bins, conjunctions),
+    }
+
+
+def assert_equivalent(reference, candidate, label: str) -> None:
+    ref_pairs, ref_bins, ref_conjunctions = reference
+    pairs, bins, conjunctions = candidate
+    assert pairs == ref_pairs, f"{label}: pairwise supports diverged"
+    for got, want in zip(bins, ref_bins):
+        np.testing.assert_array_equal(
+            got, want, err_msg=f"{label}: bin counts diverged"
+        )
+    assert conjunctions == ref_conjunctions, (
+        f"{label}: conjunction supports diverged"
+    )
+
+
+def sweep_configurations(cpu_count: int) -> List[Dict[str, object]]:
+    worker_grid = sorted({1, 2, cpu_count})
+    configurations: List[Dict[str, object]] = []
+    for mode in ("threads", "processes"):
+        for workers in worker_grid:
+            configurations.append({"mode": mode, "workers": workers})
+    return configurations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small data, one round (CI equivalence + path check)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="JSON output path (default: BENCH_counting.json next to "
+             "the repo root)",
+    )
+    arguments = parser.parse_args(argv)
+
+    config = SMOKE_CONFIG if arguments.smoke else CONFIG
+    shard_size = SMOKE_SHARD_SIZE if arguments.smoke else SHARD_SIZE
+    rounds = SMOKE_ROUNDS if arguments.smoke else ROUNDS
+    cpu_count = os.cpu_count() or 1
+
+    database = generate_quest(config, rng=20120827)
+    rng = np.random.default_rng(42)
+    pool, bases, itemsets = make_queries(database.num_items, rng)
+    print(
+        f"== counting plane: N={database.num_transactions}, "
+        f"|I|={database.num_items}, shard_size={shard_size}, "
+        f"cpu_count={cpu_count} =="
+    )
+
+    reference = run_queries(
+        BitmapBackend(database), pool, bases, itemsets
+    )
+    results: List[Dict[str, object]] = []
+    for configuration in sweep_configurations(cpu_count):
+        mode, workers = configuration["mode"], configuration["workers"]
+        backend = ShardedBackend(
+            database,
+            shard_size=shard_size,
+            max_workers=workers,
+            mode=mode,
+        )
+        try:
+            per_round: List[Dict[str, float]] = []
+            answers = None
+            for _ in range(rounds):
+                outcome = run_queries(backend, pool, bases, itemsets)
+                per_round.append(outcome["timings"])
+                answers = outcome["answers"]
+            assert_equivalent(
+                reference["answers"], answers,
+                f"{mode}/{workers}w",
+            )
+            medians = {
+                kind: statistics.median(
+                    entry[kind] for entry in per_round
+                )
+                for kind in per_round[0]
+            }
+            total = sum(medians.values())
+            record = {
+                "mode": mode,
+                "effective_mode": backend.effective_mode,
+                "workers": workers,
+                "num_shards": backend.num_shards,
+                "total_s": round(total, 6),
+                **{kind: round(value, 6)
+                   for kind, value in medians.items()},
+            }
+            results.append(record)
+            print(
+                f"{mode:<10} workers={workers:<3} "
+                f"(ran as {backend.effective_mode:<9}) "
+                f"total {total * 1e3:9.2f} ms   "
+                f"pairs {medians['pairwise_supports_s'] * 1e3:8.2f}  "
+                f"bins {medians['bin_counts_batch_s'] * 1e3:8.2f}  "
+                f"conj {medians['conjunction_supports_s'] * 1e3:8.2f}"
+            )
+        finally:
+            backend.close()
+
+    best = {
+        mode: min(
+            (entry for entry in results if entry["mode"] == mode),
+            key=lambda entry: entry["total_s"],
+        )
+        for mode in ("threads", "processes")
+    }
+    speedup = best["threads"]["total_s"] / best["processes"]["total_s"]
+    payload = {
+        "benchmark": "bench_parallel",
+        "cpu_count": cpu_count,
+        "smoke": arguments.smoke,
+        "config": {
+            "num_transactions": database.num_transactions,
+            "num_items": database.num_items,
+            "shard_size": shard_size,
+            "rounds": rounds,
+            "pool_size": POOL_SIZE,
+            "num_bases": NUM_BASES,
+            "basis_length": BASIS_LENGTH,
+            "num_conjunctions": NUM_CONJUNCTIONS,
+        },
+        "results": results,
+        "best_processes_over_threads": round(speedup, 3),
+    }
+    output = Path(
+        arguments.output
+        if arguments.output
+        else Path(__file__).resolve().parent.parent
+        / "BENCH_counting.json"
+    )
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"best processes vs best threads: {speedup:.2f}x "
+        f"(on {cpu_count} cores) -> {output}"
+    )
+    print(
+        "equivalence ok: every mode/worker configuration matched the "
+        "bitmap reference bit-for-bit"
+        + ("  (smoke)" if arguments.smoke else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

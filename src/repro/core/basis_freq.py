@@ -70,19 +70,22 @@ def noisy_bin_counts(
     backend = resolve_backend(database, backend)
     generator = ensure_rng(rng)
     width = basis_set.width
+    # One batched backend call for the whole basis set (a single pool
+    # fan-out on the sharded backends), then noise drawn per basis in
+    # basis order — the same RNG consumption order as the historical
+    # per-basis loop, so seeded releases are bit-identical.
+    exact_bins = backend.bin_counts_batch([basis for basis in basis_set])
     noisy: List[np.ndarray] = []
     if noise == "laplace":
         scale = width / epsilon
-        for basis in basis_set:
-            exact = backend.bin_counts(basis).astype(float)
+        for exact in exact_bins:
             noisy.append(
-                exact + laplace_noise(scale, size=exact.shape,
-                                      rng=generator)
+                exact.astype(float)
+                + laplace_noise(scale, size=exact.shape, rng=generator)
             )
     else:
         alpha = geometric_alpha(width, epsilon)
-        for basis in basis_set:
-            exact = backend.bin_counts(basis)
+        for exact in exact_bins:
             drawn = geometric_noise(alpha, size=exact.shape,
                                     rng=generator)
             noisy.append((exact + drawn).astype(float))

@@ -205,6 +205,35 @@ class TransactionDatabase:
         """The ``index``-th transaction as a read-only sorted array."""
         return self._rows[index]
 
+    @property
+    def rows(self) -> Tuple[np.ndarray, ...]:
+        """All transactions as a tuple of sorted row arrays.
+
+        This is the horizontal CSR-of-rows representation itself —
+        shared, never copied — so bulk consumers (shard construction,
+        shared-memory packing) can slice it directly instead of
+        looping :meth:`transaction_array` per transaction.  Treat the
+        arrays as read-only; mutating them breaks immutability.
+        """
+        return self._rows
+
+    def slice(self, start: int, stop: int) -> "TransactionDatabase":
+        """A database over transactions ``[start, stop)``, rows shared.
+
+        The shard-construction fast path: one tuple slice of the
+        horizontal representation, no per-transaction Python loop and
+        no row copies or revalidation (the rows are already canonical).
+        Vocabulary and labels carry over unchanged.
+        """
+        sliced = TransactionDatabase.__new__(TransactionDatabase)
+        sliced._init_from_rows(
+            list(self._rows[start:stop]),
+            self._num_items - 1,
+            self._num_items,
+            self._item_labels,
+        )
+        return sliced
+
     def __repr__(self) -> str:
         return (
             f"TransactionDatabase(N={self.num_transactions}, "

@@ -16,7 +16,9 @@ Implementations in this package:
   packed-bitmap / tid-list kernels of :mod:`repro.fim.counting`.
 * :class:`repro.engine.sharded.ShardedBackend` — partitions the
   transactions into fixed-size shards and counts them in parallel with
-  bounded per-shard memory.
+  bounded per-shard memory; ``mode="threads"`` (GIL-releasing numpy
+  kernels) or ``mode="processes"`` (true multi-core over shared-memory
+  shard segments, see :mod:`repro.engine.parallel`).
 * :class:`repro.engine.naive.NaiveBackend` — a pure-Python oracle used
   by the equivalence test-suite.
 * :class:`repro.engine.cache.CachedBackend` — a memoizing wrapper used
@@ -53,6 +55,14 @@ class CountingBackend(abc.ABC):
     decide *how* they are answered.  Implementations must return exact
     counts — noise is always added downstream by the DP mechanisms, so
     two correct backends are interchangeable bit-for-bit.
+
+    Beyond the four scalar/vector primitives, the protocol carries
+    **batched** forms (:meth:`conjunction_supports`,
+    :meth:`bin_counts_batch`, :meth:`extension_supports`) so a release
+    stage issues one call for all its queries — the difference between
+    one and ``O(queries)`` pool round-trips for the process-parallel
+    backend — and a :meth:`close` lifecycle hook for backends that own
+    worker pools or shared memory.
     """
 
     # -- identity ------------------------------------------------------
@@ -136,6 +146,66 @@ class CountingBackend(abc.ABC):
         ``j`` ↔ ``basis[j]``); ``counts.sum() == N``.
         """
 
+    # -- batched primitives --------------------------------------------
+    # The per-query primitives above pay one dispatch (and, for the
+    # process-parallel backend, one worker round-trip per shard) per
+    # call.  The batched forms let hot callers ship a whole stage's
+    # queries at once; defaults degrade to per-query loops, so every
+    # backend supports them and answers are bit-identical either way.
+    def conjunction_supports(
+        self, itemsets: Sequence[Iterable[int]]
+    ) -> List[int]:
+        """Support count of every itemset, aligned with ``itemsets``.
+
+        One batched call per stage instead of per-itemset round-trips;
+        backends that can amortize dispatch (sharded thread/process
+        pools) override this with a single fan-out.
+        """
+        return [self.conjunction_support(itemset) for itemset in itemsets]
+
+    def bin_counts_batch(
+        self, bases: Sequence[Sequence[int]]
+    ) -> List[np.ndarray]:
+        """Exact bin histograms for many bases, aligned with ``bases``.
+
+        BasisFreq's data access is one of these calls for the whole
+        basis set (the noise is drawn afterwards, in basis order, so
+        batching does not perturb any random stream).
+        """
+        return [self.bin_counts(basis) for basis in bases]
+
+    def extension_supports(
+        self, base: Sequence[int], candidates: Sequence[int]
+    ) -> np.ndarray:
+        """Supports of ``base ∧ {c}`` for every candidate ``c``.
+
+        Returns an int64 array aligned with ``candidates`` — the
+        vectorized one-item-extension query behind lattice miners.
+        """
+        return np.array(
+            [
+                self.conjunction_support(tuple(base) + (int(item),))
+                for item in candidates
+            ],
+            dtype=np.int64,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release external resources (worker pools, shared memory).
+
+        A no-op for in-process backends.  Backends owning OS resources
+        (:class:`~repro.engine.sharded.ShardedBackend` in process
+        mode) override it; wrappers forward it; sessions and the
+        service call it on shutdown.  Safe to call more than once.
+        """
+
+    def __enter__(self) -> "CountingBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- derived conveniences ------------------------------------------
     def item_frequencies(self) -> np.ndarray:
         """Frequency (support / N) of every single item."""
@@ -153,7 +223,7 @@ class CountingBackend(abc.ABC):
 
     def supports(self, itemsets: Sequence[Iterable[int]]) -> List[int]:
         """Support counts for many itemsets (convenience wrapper)."""
-        return [self.conjunction_support(itemset) for itemset in itemsets]
+        return self.conjunction_supports(list(itemsets))
 
     def top_k(self, k: int, max_length: Optional[int] = None):
         """Exact (non-private) top-``k`` itemsets with supports.

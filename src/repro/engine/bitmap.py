@@ -41,7 +41,10 @@ class BitmapBackend(CountingBackend):
         The transactions to count over.
     max_pools:
         Cap on memoized bitmap pools (each pool is
-        ``|items| × N/8`` bytes); the oldest pool is evicted first.
+        ``|items| × N/8`` bytes); the **least recently used** pool is
+        evicted first — any hit, including a covering-pool hit on a
+        conjunction query, refreshes recency, so a hot pool survives
+        a stream of one-off pools.
     """
 
     def __init__(
@@ -89,17 +92,25 @@ class BitmapBackend(CountingBackend):
             pool = ItemBitmaps(self._database, sorted(key))
             self.pools_built += 1
             if self._max_pools and len(self._pools) >= self._max_pools:
-                oldest = next(iter(self._pools))
-                del self._pools[oldest]
-            self._pools[key] = pool
+                coldest = next(iter(self._pools))
+                del self._pools[coldest]
+        else:
+            del self._pools[key]  # reinsert below: mark most recent
+        self._pools[key] = pool
         return pool
 
     def _covering_pool(
         self, items: FrozenSet[int]
     ) -> Optional[ItemBitmaps]:
-        """Any memoized pool whose item set covers ``items``."""
+        """Any memoized pool whose item set covers ``items``.
+
+        A covering hit counts as a *use*: the pool is moved to the
+        most-recently-used position so conjunction traffic keeps its
+        pool resident (LRU, not insertion-order, eviction).
+        """
         for key, pool in self._pools.items():
             if items <= key:
+                self._pools[key] = self._pools.pop(key)
                 return pool
         return None
 
@@ -125,3 +136,25 @@ class BitmapBackend(CountingBackend):
 
     def bin_counts(self, basis: Sequence[int]) -> np.ndarray:
         return bin_counts_for_items(self._database, basis)
+
+    def extension_supports(
+        self, base: Sequence[int], candidates: Sequence[int]
+    ) -> np.ndarray:
+        """One AND+popcount sweep over a pooled bitmap set.
+
+        Reuses any memoized pool covering ``base ∪ candidates`` (the
+        top-k miner's pops all sit under the pool its first pop
+        builds), building a fresh pool only on a cold start.
+        """
+        if not len(candidates):
+            return np.zeros(0, dtype=np.int64)
+        needed = {int(item) for item in base} | {
+            int(item) for item in candidates
+        }
+        bitmaps = self._covering_pool(frozenset(needed))
+        if bitmaps is None:
+            bitmaps = self.bitmaps(sorted(needed))
+        base_row = bitmaps.conjunction_row(
+            sorted({int(item) for item in base})
+        )
+        return bitmaps.extension_supports(base_row, candidates)

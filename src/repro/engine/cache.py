@@ -201,6 +201,84 @@ class CachedBackend(CountingBackend):
             self._record("bin_counts", hit=True)
         return cached.copy()
 
+    # -- batched primitives (memoized per key, misses batched) ---------
+    def conjunction_supports(
+        self, itemsets: Sequence[Iterable[int]]
+    ) -> list:
+        """Per-key memo check, then one inner batch for the misses.
+
+        Hit/miss counters advance exactly as the per-query loop would
+        (first occurrence of a new key is the miss; repeats, including
+        within the batch, are hits), so cache telemetry stays stable
+        under batching.
+        """
+        keys = [canonical_itemset(itemset) for itemset in itemsets]
+        values: Dict[Itemset, int] = {}
+        missing: list = []
+        for key in keys:
+            if key in values:
+                self._record("conjunction_support", hit=True)
+                continue
+            cached = self._conjunction_cache.get(key)
+            if cached is None:
+                self._record("conjunction_support", hit=False)
+                missing.append(key)
+                values[key] = -1  # placeholder until the batch lands
+            else:
+                self._record("conjunction_support", hit=True)
+                values[key] = cached
+        if missing:
+            counts = self._inner.conjunction_supports(missing)
+            for key, count in zip(missing, counts):
+                count = int(count)
+                values[key] = count
+                _evict_oldest(
+                    self._conjunction_cache,
+                    self._limits["conjunction_support"],
+                )
+                self._conjunction_cache[key] = count
+        return [values[key] for key in keys]
+
+    def bin_counts_batch(
+        self, bases: Sequence[Sequence[int]]
+    ) -> list:
+        keys = [tuple(int(item) for item in basis) for basis in bases]
+        values: Dict[Itemset, Optional[np.ndarray]] = {}
+        missing: list = []
+        for key in keys:
+            if key in values:
+                self._record("bin_counts", hit=True)
+                continue
+            cached = self._bin_cache.get(key)
+            if cached is None:
+                self._record("bin_counts", hit=False)
+                missing.append(key)
+                values[key] = None
+            else:
+                self._record("bin_counts", hit=True)
+                values[key] = cached
+        if missing:
+            results = self._inner.bin_counts_batch(missing)
+            for key, counts in zip(missing, results):
+                values[key] = counts
+                _evict_oldest(
+                    self._bin_cache, self._limits["bin_counts"]
+                )
+                self._bin_cache[key] = counts
+        return [values[key].copy() for key in keys]
+
+    def extension_supports(
+        self, base: Sequence[int], candidates: Sequence[int]
+    ) -> np.ndarray:
+        """Pass through: candidate sets rarely repeat exactly, so a
+        memo would only hold dead arrays."""
+        return self._inner.extension_supports(base, candidates)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Forward to the inner backend (pool/segment teardown)."""
+        self._inner.close()
+
     def top_k(self, k: int, max_length: Optional[int] = None):
         key = (int(k), max_length)
         cached = self._topk_cache.get(key)

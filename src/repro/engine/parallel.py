@@ -1,0 +1,270 @@
+"""The process-parallel counting plane: pool, tasks, shard kernels.
+
+This module is the execution substrate behind
+``ShardedBackend(mode="processes")``.  Three pieces:
+
+* **Shard kernels** (:func:`shard_item_supports` …) — the per-shard
+  counting functions.  They are defined *here*, at module level, so
+  that thread mode and process mode run **the same code** on the same
+  shard databases: thread mode calls them directly, process mode calls
+  them inside a worker after attaching the shard's shared-memory
+  segment.  Counts are exact integers, so identical kernels + identical
+  shard boundaries ⇒ bit-identical merged answers — the property the
+  backend-equivalence suites pin.
+* **Query descriptors** — what actually crosses the process boundary.
+  A task is ``(kind, spec, payload)``: a short string, a
+  :class:`~repro.engine.shm.ShardSegmentSpec` (name + shape, tens of
+  bytes), and the query parameters (item ids, a basis, a batch of
+  itemsets).  Transaction data never crosses; workers attach the
+  published segments zero-copy and cache the attachment per segment
+  name, so a warm worker answers from its existing mapping.
+* **:class:`WorkerPool`** — a persistent, spawn-safe
+  ``ProcessPoolExecutor`` wrapper.  ``spawn`` is the default start
+  method (safe under threads and on every platform; ``fork`` is
+  accepted where the OS provides it and is cheaper to start).  A
+  worker crash surfaces as a clean
+  :class:`~repro.errors.WorkerPoolError` — never a partial merge —
+  and the pool is discarded so the owner can rebuild.
+
+GIL note: thread mode already releases the GIL inside the numpy
+kernels, but the per-shard *Python* dispatch (building ``ItemBitmaps``
+rows, packing, dict merges) serializes.  Process mode removes that
+ceiling: each worker owns a whole interpreter, and the shared-memory
+segments keep the data one-copy-total.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.engine.shm import ShardSegmentSpec, attach_segment
+from repro.errors import ValidationError, WorkerPoolError
+from repro.fim.counting import ItemBitmaps, bin_counts_for_items
+
+__all__ = [
+    "WorkerPool",
+    "default_start_method",
+    "shard_bin_counts_batch",
+    "shard_conjunction_batch",
+    "shard_extension_supports",
+    "shard_item_supports",
+    "shard_pairwise_supports",
+    "start_methods_available",
+]
+
+
+# ----------------------------------------------------------------------
+# Per-shard kernels (shared by thread mode and process workers)
+# ----------------------------------------------------------------------
+def shard_item_supports(shard: TransactionDatabase) -> np.ndarray:
+    """Single-item supports of one shard."""
+    return shard.item_supports()
+
+
+def shard_pairwise_supports(
+    shard: TransactionDatabase, pool: Sequence[int]
+) -> Dict[Tuple[int, int], int]:
+    """All pairwise supports over ``pool`` within one shard."""
+    return ItemBitmaps(shard, pool).pairwise_supports()
+
+
+def shard_conjunction_batch(
+    shard: TransactionDatabase, itemsets: Sequence[Sequence[int]]
+) -> List[int]:
+    """Support of every itemset in ``itemsets`` within one shard."""
+    return [shard.support(itemset) for itemset in itemsets]
+
+
+def shard_bin_counts_batch(
+    shard: TransactionDatabase, bases: Sequence[Sequence[int]]
+) -> List[np.ndarray]:
+    """Bin histogram of every basis in ``bases`` within one shard."""
+    return [bin_counts_for_items(shard, basis) for basis in bases]
+
+
+def shard_extension_supports(
+    shard: TransactionDatabase,
+    base: Sequence[int],
+    candidates: Sequence[int],
+) -> np.ndarray:
+    """Supports of ``base ∧ {c}`` for every candidate, one shard.
+
+    One vectorized AND+popcount sweep over a bitmap pool covering the
+    base and the candidates — the same kernel the exact top-k miner
+    uses per heap pop.
+    """
+    pool = sorted({int(item) for item in base}
+                  | {int(item) for item in candidates})
+    bitmaps = ItemBitmaps(shard, pool)
+    base_row = bitmaps.conjunction_row(sorted({int(i) for i in base}))
+    return bitmaps.extension_supports(base_row, candidates)
+
+
+#: kind string → kernel; the payload tuple is splatted after the shard.
+KERNELS = {
+    "item_supports": shard_item_supports,
+    "pairwise_supports": shard_pairwise_supports,
+    "conjunction_batch": shard_conjunction_batch,
+    "bin_counts_batch": shard_bin_counts_batch,
+    "extension_supports": shard_extension_supports,
+}
+
+
+# ----------------------------------------------------------------------
+# Worker-side state and entry point
+# ----------------------------------------------------------------------
+#: Attached segments, per worker process: name → (block, database).
+#: Bounded FIFO so segments replaced by ``extend`` (published under
+#: fresh names) cannot pin unbounded memory in long-lived workers.
+_ATTACHED: Dict[str, Tuple[object, TransactionDatabase]] = {}
+_ATTACHED_LIMIT = 128
+
+
+def _attached_database(spec: ShardSegmentSpec) -> TransactionDatabase:
+    entry = _ATTACHED.get(spec.name)
+    if entry is None:
+        while len(_ATTACHED) >= _ATTACHED_LIMIT:
+            stale_block, _ = _ATTACHED.pop(next(iter(_ATTACHED)))
+            try:
+                stale_block.close()
+            except Exception:
+                pass
+        entry = attach_segment(spec)
+        _ATTACHED[spec.name] = entry
+    return entry[1]
+
+
+def _init_worker() -> None:
+    """Worker bootstrap: leave interrupt handling to the owner.
+
+    A terminal Ctrl+C is delivered to the whole foreground process
+    group, workers included; without this they die mid-``queue.get``
+    printing KeyboardInterrupt tracebacks over the owner's own clean
+    shutdown.  The owner alone decides when workers stop (pool
+    shutdown sentinels), so workers ignore SIGINT.
+    """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _run_task(task: Tuple) -> object:
+    """Execute one query descriptor inside a worker process."""
+    kind, spec, payload = task
+    if kind == "ping":
+        return os.getpid()
+    if kind == "crash_for_testing":
+        # Deterministic hard death (no atexit, no cleanup) so the
+        # worker-crash test exercises the BrokenProcessPool path.
+        os._exit(payload or 1)
+    kernel = KERNELS.get(kind)
+    if kernel is None:
+        raise ValidationError(f"unknown worker task kind {kind!r}")
+    shard = _attached_database(spec)
+    return kernel(shard, *payload)
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+def start_methods_available() -> Tuple[str, ...]:
+    """Start methods the OS offers (``spawn`` is always present)."""
+    import multiprocessing
+
+    return tuple(multiprocessing.get_all_start_methods())
+
+
+def default_start_method() -> str:
+    """``spawn`` — safe everywhere, including threaded services."""
+    return "spawn"
+
+
+class WorkerPool:
+    """A persistent pool of counting workers over shared segments.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool width (≥ 1).
+    start_method:
+        ``"spawn"`` (default; safe under threads, works everywhere) or
+        ``"fork"``/``"forkserver"`` where the platform provides them.
+
+    Workers are started lazily by the executor on first submit; the
+    pool survives across queries (startup is paid once, which is the
+    entire point of keeping it persistent).  All failures of the pool
+    itself surface as :class:`~repro.errors.WorkerPoolError`; task
+    *code* errors (e.g. a bad basis) re-raise as themselves.
+    """
+
+    def __init__(
+        self, max_workers: int, start_method: Optional[str] = None
+    ) -> None:
+        import multiprocessing
+
+        if max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        method = start_method or default_start_method()
+        if method not in start_methods_available():
+            raise ValidationError(
+                f"start method {method!r} not available here; "
+                f"choose from {start_methods_available()}"
+            )
+        self._start_method = method
+        self._executor = ProcessPoolExecutor(
+            max_workers=int(max_workers),
+            mp_context=multiprocessing.get_context(method),
+            initializer=_init_worker,
+        )
+        self._broken = False
+
+    @property
+    def start_method(self) -> str:
+        return self._start_method
+
+    @property
+    def broken(self) -> bool:
+        """True once a worker crash has poisoned the pool."""
+        return self._broken
+
+    def map_tasks(self, tasks: Sequence[Tuple]) -> List[object]:
+        """Run every descriptor, preserving order; all-or-nothing.
+
+        A crashed worker (``BrokenProcessPool``) raises
+        :class:`WorkerPoolError` and marks the pool broken — no
+        partial result list is ever returned, so a merge can never
+        silently sum fewer shards than exist.
+        """
+        if self._broken:
+            raise WorkerPoolError(
+                "worker pool already broken; build a new one"
+            )
+        try:
+            futures = [
+                self._executor.submit(_run_task, task) for task in tasks
+            ]
+            return [future.result() for future in futures]
+        except BrokenProcessPool as exc:
+            self._broken = True
+            self.shutdown()
+            raise WorkerPoolError(
+                f"a counting worker died mid-query "
+                f"(start_method={self._start_method}); the query was "
+                f"not answered and the pool has been discarded"
+            ) from exc
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent)."""
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:
+        state = "broken" if self._broken else "live"
+        return f"WorkerPool({self._start_method}, {state})"

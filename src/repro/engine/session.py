@@ -297,6 +297,25 @@ class PrivBasisSession:
         """
         self._backend.item_supports()
 
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release backend-owned OS resources (idempotent).
+
+        Forwards to the backend's :meth:`~repro.engine.backend
+        .CountingBackend.close` — which tears down worker pools and
+        shared-memory segments for a process-mode
+        :class:`~repro.engine.sharded.ShardedBackend` and is a no-op
+        for in-process backends.  The session's ledger and counters
+        survive; a thread-mode backend stays queryable.
+        """
+        self._backend.close()
+
+    def __enter__(self) -> "PrivBasisSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- serving --------------------------------------------------------
     def _charge(self, epsilon: float) -> None:
         if not (epsilon > 0):

@@ -5,7 +5,7 @@ fixed-size contiguous shards, materializes each shard as its own
 :class:`~repro.datasets.transactions.TransactionDatabase` (sharing the
 row arrays — no transaction data is copied), and answers every
 counting primitive by running the ordinary kernels per shard in a
-thread pool and merging:
+worker pool and merging:
 
 * item-support vectors and bin histograms add elementwise (the bins of
   a basis partition each shard exactly as they partition ``D``);
@@ -16,12 +16,29 @@ merged answers equal the single-scan answers exactly — the
 equivalence test-suite pins this against both
 :class:`~repro.engine.bitmap.BitmapBackend` and the naive oracle.
 
-Threads (not processes) are the right pool here: the numpy kernels
-release the GIL in their hot loops and the shard databases live in
-shared memory, so there is no pickling cost.  Peak *working* memory
-per query is one shard's scratch (masks, packed bitmaps) per worker
-instead of one full-database scratch, which is what makes long bases
-feasible on large ``N``.
+Two execution modes share those merge rules and, deliberately, the
+same per-shard kernels (:mod:`repro.engine.parallel`):
+
+* ``mode="threads"`` — a thread pool.  The numpy kernels release the
+  GIL in their hot loops and shard databases live in process memory,
+  so dispatch is free; but the Python-level per-shard work (bitmap
+  row packing, dict merges) serializes on the GIL, which caps the
+  speedup well below the core count.
+* ``mode="processes"`` — a persistent spawn-safe worker pool over
+  **shared-memory shard segments** (:mod:`repro.engine.shm`).  Each
+  shard's CSR rows are published once into a
+  ``multiprocessing.shared_memory`` block; workers attach zero-copy
+  and queries ship as small descriptors (item ids, a basis, a batch of
+  itemsets) — never pickled databases.  Every core runs a full
+  interpreter, so the GIL ceiling is gone.  ``extend(delta)``
+  republishes only the tail shard segment; full shards (and their
+  segments) are never touched.  When shared memory is unavailable the
+  backend falls back to thread mode instead of failing
+  (:attr:`ShardedBackend.effective_mode` tells which one ran).
+
+Per-query working memory is one shard's scratch per worker instead of
+one full-database scratch, in both modes, which is what makes long
+bases feasible on large ``N``.
 """
 
 from __future__ import annotations
@@ -45,16 +62,19 @@ from repro.datasets.transactions import (
     TransactionDatabase,
     canonical_itemset,
 )
+from repro.engine import parallel, shm
 from repro.engine.backend import CountingBackend
-from repro.errors import ValidationError
-from repro.fim.counting import ItemBitmaps, bin_counts_for_items
+from repro.errors import ValidationError, WorkerPoolError
 
-__all__ = ["ShardedBackend", "DEFAULT_SHARD_SIZE"]
+__all__ = ["ShardedBackend", "DEFAULT_SHARD_SIZE", "EXECUTION_MODES"]
 
 #: Default transactions per shard — large enough that the per-shard
 #: numpy kernels amortize Python dispatch, small enough that a worker's
 #: scratch stays in cache-friendly territory.
 DEFAULT_SHARD_SIZE = 65_536
+
+#: Execution modes of :class:`ShardedBackend`.
+EXECUTION_MODES = ("threads", "processes")
 
 _T = TypeVar("_T")
 
@@ -69,8 +89,22 @@ class ShardedBackend(CountingBackend):
     shard_size:
         Transactions per shard (the last shard may be smaller).
     max_workers:
-        Thread-pool width; defaults to ``min(num_shards, cpu_count)``.
+        Pool width; defaults to ``min(num_shards, cpu_count)``.
         ``1`` degenerates to a sequential scan (useful for debugging).
+    mode:
+        ``"threads"`` (default) or ``"processes"`` — see the module
+        docstring.  Process mode silently falls back to threads when
+        shared memory is unavailable on the platform.
+    start_method:
+        Process-mode start method; default ``"spawn"`` (safe under a
+        threaded service).  ``"fork"``/``"forkserver"`` are accepted
+        where the OS provides them and start workers faster.
+
+    Process mode owns OS resources (worker processes, shared-memory
+    blocks): call :meth:`close` — or use the backend as a context
+    manager — when done.  A worker crash raises a clean
+    :class:`~repro.errors.WorkerPoolError` for that query and discards
+    the pool; the next query builds a fresh one.
     """
 
     def __init__(
@@ -78,6 +112,8 @@ class ShardedBackend(CountingBackend):
         database: TransactionDatabase,
         shard_size: int = DEFAULT_SHARD_SIZE,
         max_workers: Optional[int] = None,
+        mode: str = "threads",
+        start_method: Optional[str] = None,
     ) -> None:
         if shard_size < 1:
             raise ValidationError(
@@ -87,11 +123,22 @@ class ShardedBackend(CountingBackend):
             raise ValidationError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
+        if mode not in EXECUTION_MODES:
+            raise ValidationError(
+                f"mode must be one of {EXECUTION_MODES}, got {mode!r}"
+            )
         self._database = database
         self._shard_size = int(shard_size)
         self._max_workers = max_workers
+        self._mode = mode
+        self._start_method = start_method
         self._shards: Optional[List[TransactionDatabase]] = None
         self._item_supports: Optional[np.ndarray] = None
+        # Process-plane state (None until first process-mode query).
+        self._segments: Optional[List[shm.ShardSegment]] = None
+        self._pool: Optional[parallel.WorkerPool] = None
+        self._shm_unavailable = False
+        self._closed = False
 
     @property
     def database(self) -> TransactionDatabase:
@@ -101,33 +148,44 @@ class ShardedBackend(CountingBackend):
     def num_shards(self) -> int:
         return len(self._ensure_shards())
 
+    @property
+    def mode(self) -> str:
+        """The requested execution mode."""
+        return self._mode
+
+    @property
+    def effective_mode(self) -> str:
+        """The mode queries actually run in (fallback-aware)."""
+        if self._mode == "processes" and not self._shm_unavailable:
+            return "processes"
+        return "threads"
+
     # -- streaming ingestion --------------------------------------------
     def extend(self, delta: TransactionDatabase) -> None:
         """Append ``delta`` by growing the tail shard, not resharding.
 
         Existing full shards are untouched (their warm per-shard
-        indexes stay valid); the last, partially filled shard is
+        indexes — and, in process mode, their published shared-memory
+        segments — stay valid); the last, partially filled shard is
         rebuilt with the new rows folded in (rows shared, ≤ one
         shard's worth of work), and any remaining delta rows form new
-        tail shards.  The cached item-support vector is advanced by
-        adding ``delta``'s supports.
+        tail shards.  In process mode only the rebuilt tail's segment
+        is republished and only the new tails are published; the
+        cached item-support vector is advanced by adding ``delta``'s
+        supports.
         """
         self._validate_delta(delta)
         extended = self._database.extended(delta)
         if self._shards is not None and delta.num_transactions:
-            pending = [
-                delta.transaction_array(index)
-                for index in range(delta.num_transactions)
-            ]
+            first_changed = len(self._shards)
+            pending = list(delta.rows)
             last = self._shards[-1]
             if last.num_transactions < self._shard_size:
+                first_changed -= 1
                 take = min(
                     self._shard_size - last.num_transactions, len(pending)
                 )
-                merged = [
-                    last.transaction_array(index)
-                    for index in range(last.num_transactions)
-                ] + pending[:take]
+                merged = list(last.rows) + pending[:take]
                 self._shards[-1] = TransactionDatabase.from_sorted_rows(
                     merged, self._database.num_items
                 )
@@ -139,6 +197,15 @@ class ShardedBackend(CountingBackend):
                         self._database.num_items,
                     )
                 )
+            if self._segments is not None:
+                # Republish only the changed tail: unlink the rebuilt
+                # shard's old segment, publish it and the new shards
+                # under fresh names (workers attach lazily by name, so
+                # nothing needs to be told about the swap).
+                shm.unlink_all(self._segments[first_changed:])
+                self._segments[first_changed:] = shm.publish_all(
+                    self._shards[first_changed:]
+                )
         if self._item_supports is not None:
             self._item_supports = (
                 self._item_supports + delta.item_supports()
@@ -147,21 +214,16 @@ class ShardedBackend(CountingBackend):
 
     # -- shard plumbing -------------------------------------------------
     def _ensure_shards(self) -> List[TransactionDatabase]:
-        """Build the shard databases lazily (rows are shared, not copied)."""
+        """Build the shard databases lazily (rows are shared, not
+        copied — each shard is one slice of the horizontal CSR rows)."""
         if self._shards is None:
             n = self._database.num_transactions
-            shards: List[TransactionDatabase] = []
-            for start in range(0, n, self._shard_size):
-                stop = min(start + self._shard_size, n)
-                rows = [
-                    self._database.transaction_array(index)
-                    for index in range(start, stop)
-                ]
-                shards.append(
-                    TransactionDatabase.from_sorted_rows(
-                        rows, self._database.num_items
-                    )
+            shards = [
+                self._database.slice(
+                    start, min(start + self._shard_size, n)
                 )
+                for start in range(0, n, self._shard_size)
+            ]
             if not shards:  # empty database: one empty shard
                 shards.append(
                     TransactionDatabase.from_sorted_rows(
@@ -171,25 +233,73 @@ class ShardedBackend(CountingBackend):
             self._shards = shards
         return self._shards
 
+    def _workers_for(self, num_shards: int) -> int:
+        workers = self._max_workers
+        if workers is None:
+            workers = min(num_shards, os.cpu_count() or 1)
+        return max(1, workers)
+
     def _map_shards(
         self, task: Callable[[TransactionDatabase], _T]
     ) -> List[_T]:
-        """Apply ``task`` to every shard, in parallel when it pays."""
+        """Thread-mode fan-out: ``task`` on every shard, merged later."""
         shards = self._ensure_shards()
-        workers = self._max_workers
-        if workers is None:
-            workers = min(len(shards), os.cpu_count() or 1)
+        workers = self._workers_for(len(shards))
         if workers <= 1 or len(shards) <= 1:
             return [task(shard) for shard in shards]
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(task, shards))
 
+    # -- the process plane ----------------------------------------------
+    def _ensure_process_plane(self) -> bool:
+        """Publish segments + start the pool; False → use threads."""
+        if (
+            self._mode != "processes"
+            or self._shm_unavailable
+            or self._closed
+        ):
+            return False
+        if self._segments is None:
+            if not shm.shared_memory_available():
+                self._shm_unavailable = True
+                return False
+            self._segments = shm.publish_all(self._ensure_shards())
+        if self._pool is None or self._pool.broken:
+            self._pool = parallel.WorkerPool(
+                self._workers_for(len(self._segments)),
+                start_method=self._start_method,
+            )
+        return True
+
+    def _dispatch(self, kind: str, payload: Tuple) -> List:
+        """Ship ``(kind, payload)`` to every shard's worker and collect.
+
+        One descriptor per shard; the worker attaches the shard's
+        shared segment (cached across queries) and runs the *same*
+        kernel thread mode would.  On a worker crash the broken pool
+        is discarded so the next query starts fresh, and the clean
+        :class:`WorkerPoolError` propagates to the caller.
+        """
+        tasks = [
+            (kind, segment.spec, payload) for segment in self._segments
+        ]
+        try:
+            return self._pool.map_tasks(tasks)
+        except WorkerPoolError:
+            self._pool = None
+            raise
+
+    def _map_kernel(self, kind: str, payload: Tuple) -> List:
+        """Run a named shard kernel in the effective mode."""
+        if self._ensure_process_plane():
+            return self._dispatch(kind, payload)
+        kernel = parallel.KERNELS[kind]
+        return self._map_shards(lambda shard: kernel(shard, *payload))
+
     # -- the four primitives --------------------------------------------
     def item_supports(self) -> np.ndarray:
         if self._item_supports is None:
-            parts = self._map_shards(
-                lambda shard: shard.item_supports()
-            )
+            parts = self._map_kernel("item_supports", ())
             self._item_supports = np.sum(parts, axis=0, dtype=np.int64)
         return self._item_supports.copy()
 
@@ -197,9 +307,7 @@ class ShardedBackend(CountingBackend):
         self, items: Sequence[int]
     ) -> Dict[Tuple[int, int], int]:
         pool = canonical_itemset(items)
-        parts = self._map_shards(
-            lambda shard: ItemBitmaps(shard, pool).pairwise_supports()
-        )
+        parts = self._map_kernel("pairwise_supports", (pool,))
         merged: Dict[Tuple[int, int], int] = {}
         for part in parts:
             for pair, count in part.items():
@@ -207,20 +315,84 @@ class ShardedBackend(CountingBackend):
         return merged
 
     def conjunction_support(self, items: Iterable[int]) -> int:
-        itemset = canonical_itemset(items)
-        return int(
-            sum(self._map_shards(lambda shard: shard.support(itemset)))
-        )
+        return self.conjunction_supports([items])[0]
 
     def bin_counts(self, basis: Sequence[int]) -> np.ndarray:
-        parts = self._map_shards(
-            lambda shard: bin_counts_for_items(shard, basis)
+        return self.bin_counts_batch([basis])[0]
+
+    # -- batched primitives ---------------------------------------------
+    def conjunction_supports(
+        self, itemsets: Sequence[Iterable[int]]
+    ) -> List[int]:
+        """One fan-out for the whole batch: each worker answers every
+        itemset over its shard, the parent sums per itemset."""
+        canonical = [canonical_itemset(itemset) for itemset in itemsets]
+        if not canonical:
+            return []
+        parts = self._map_kernel("conjunction_batch", (canonical,))
+        return [
+            int(sum(part[index] for part in parts))
+            for index in range(len(canonical))
+        ]
+
+    def bin_counts_batch(
+        self, bases: Sequence[Sequence[int]]
+    ) -> List[np.ndarray]:
+        """One fan-out for all bases; histograms add elementwise."""
+        bases = [
+            tuple(int(item) for item in basis) for basis in bases
+        ]
+        if not bases:
+            return []
+        parts = self._map_kernel("bin_counts_batch", (bases,))
+        return [
+            np.sum(
+                [part[index] for part in parts], axis=0, dtype=np.int64
+            )
+            for index in range(len(bases))
+        ]
+
+    def extension_supports(
+        self, base: Sequence[int], candidates: Sequence[int]
+    ) -> np.ndarray:
+        candidates = [int(item) for item in candidates]
+        if not candidates:
+            return np.zeros(0, dtype=np.int64)
+        parts = self._map_kernel(
+            "extension_supports",
+            (tuple(int(item) for item in base), tuple(candidates)),
         )
         return np.sum(parts, axis=0, dtype=np.int64)
 
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker pool and unlink every shared segment.
+
+        Idempotent; thread mode has nothing to release.  The backend
+        itself stays queryable only in thread mode afterwards — the
+        process plane will not be rebuilt once closed.
+        """
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self._segments is not None:
+            shm.unlink_all(self._segments)
+            self._segments = None
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort
+        try:
+            if self._pool is not None or self._segments is not None:
+                self.close()
+        except Exception:
+            pass
+
     def __repr__(self) -> str:
+        mode = (
+            f", mode={self._mode!r}" if self._mode != "threads" else ""
+        )
         return (
             f"ShardedBackend({self._database!r}, "
             f"shard_size={self._shard_size}, "
-            f"max_workers={self._max_workers})"
+            f"max_workers={self._max_workers}{mode})"
         )

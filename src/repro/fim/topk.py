@@ -68,7 +68,16 @@ def top_k_itemsets(
     universe = _pruned_universe(source, k)
     if not universe:
         return []
-    bitmaps = ItemBitmaps(database, universe)
+    # With an explicit backend the per-pop extension sweep ships as the
+    # backend's batched ``extension_supports`` primitive (one fan-out on
+    # the sharded/process backends, a pooled sweep on the bitmap one);
+    # bare databases keep the local single-pool fast path.
+    use_backend_extensions = backend is not None
+    bitmaps = (
+        None
+        if use_backend_extensions
+        else ItemBitmaps(database, universe)
+    )
     position_of = {item: index for index, item in enumerate(universe)}
 
     supports = source.item_supports()
@@ -92,10 +101,15 @@ def top_k_itemsets(
         extensions = universe[last_position + 1:]
         if not extensions:
             continue
-        base_row = bitmaps.conjunction_row(itemset)
-        extension_supports = bitmaps.extension_supports(
-            base_row, extensions
-        )
+        if use_backend_extensions:
+            extension_supports = source.extension_supports(
+                itemset, extensions
+            )
+        else:
+            base_row = bitmaps.conjunction_row(itemset)
+            extension_supports = bitmaps.extension_supports(
+                base_row, extensions
+            )
         for offset, extension_support in enumerate(extension_supports):
             if extension_support > 0:
                 child = itemset + (extensions[offset],)

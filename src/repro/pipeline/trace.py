@@ -127,8 +127,8 @@ class QueryCountingBackend(CountingBackend):
         """Cumulative primitive call counts since construction."""
         return dict(self._counts)
 
-    def _tally(self, kind: str) -> None:
-        self._counts[kind] = self._counts.get(kind, 0) + 1
+    def _tally(self, kind: str, count: int = 1) -> None:
+        self._counts[kind] = self._counts.get(kind, 0) + count
 
     def extend(self, delta: TransactionDatabase) -> None:
         self._inner.extend(delta)
@@ -150,6 +150,33 @@ class QueryCountingBackend(CountingBackend):
     def bin_counts(self, basis: Sequence[int]) -> np.ndarray:
         self._tally("bin_counts")
         return self._inner.bin_counts(basis)
+
+    # Batched forms forward as batches (so the inner backend's one-
+    # fan-out overrides fire) but tally under the per-query kind names:
+    # the trace records how many *queries* a stage asked, regardless of
+    # how they were shipped.
+    def conjunction_supports(
+        self, itemsets: Sequence[Iterable[int]]
+    ) -> List[int]:
+        itemsets = list(itemsets)
+        self._tally("conjunction_support", len(itemsets))
+        return self._inner.conjunction_supports(itemsets)
+
+    def bin_counts_batch(
+        self, bases: Sequence[Sequence[int]]
+    ) -> List[np.ndarray]:
+        bases = list(bases)
+        self._tally("bin_counts", len(bases))
+        return self._inner.bin_counts_batch(bases)
+
+    def extension_supports(
+        self, base: Sequence[int], candidates: Sequence[int]
+    ) -> np.ndarray:
+        self._tally("extension_supports", max(len(candidates), 1))
+        return self._inner.extension_supports(base, candidates)
+
+    def close(self) -> None:
+        self._inner.close()
 
     def top_k(self, k: int, max_length: Optional[int] = None):
         self._tally("top_k")

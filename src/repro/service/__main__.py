@@ -59,7 +59,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="WAL fsync policy for --state-dir (default: batch — one "
              "barrier per release; 'never' is for benchmarks only)",
     )
+    parser.add_argument(
+        "--parallel", choices=["bitmap", "threads", "processes"],
+        default="bitmap",
+        help="counting plane: 'bitmap' (default single-process "
+             "backend), or a sharded backend in 'threads' or "
+             "'processes' mode (multi-core over shared-memory shard "
+             "segments; falls back to threads where shared memory is "
+             "unavailable)",
+    )
+    parser.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="worker count for --parallel threads/processes "
+             "(default: min(shard count, cpu count))",
+    )
+    parser.add_argument(
+        "--shard-size", type=int, default=None, metavar="ROWS",
+        help="transactions per shard for --parallel threads/processes "
+             "(default: engine DEFAULT_SHARD_SIZE)",
+    )
     return parser
+
+
+def backend_factory_for(arguments: argparse.Namespace):
+    """``database -> CountingBackend`` factory from CLI flags.
+
+    Returns ``None`` for the default bitmap plane (the service then
+    builds its usual :class:`~repro.engine.bitmap.BitmapBackend`);
+    otherwise each dataset gets its own sharded backend in the
+    requested execution mode.
+    """
+    if arguments.parallel == "bitmap":
+        return None
+    from repro.engine.sharded import DEFAULT_SHARD_SIZE, ShardedBackend
+
+    mode = arguments.parallel
+    shard_size = arguments.shard_size or DEFAULT_SHARD_SIZE
+
+    def factory(database):
+        return ShardedBackend(
+            database,
+            shard_size=shard_size,
+            max_workers=arguments.shard_workers,
+            mode=mode,
+        )
+
+    return factory
 
 
 async def _run(arguments: argparse.Namespace) -> int:
@@ -70,10 +115,20 @@ async def _run(arguments: argparse.Namespace) -> int:
     )
     service = PrivBasisService(
         registry,
+        backend_factory=backend_factory_for(arguments),
         max_inflight=arguments.max_inflight,
         state_dir=arguments.state_dir,
         fsync=arguments.fsync,
     )
+    if arguments.parallel != "bitmap":
+        print(
+            f"counting plane: sharded/{arguments.parallel}"
+            + (
+                f" ({arguments.shard_workers} workers)"
+                if arguments.shard_workers
+                else ""
+            )
+        )
     if arguments.state_dir:
         recovered = service.store.recovery
         print(

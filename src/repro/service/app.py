@@ -792,7 +792,10 @@ class PrivBasisService:
         """Stop accepting connections and close the listener.
 
         Open keep-alive connections are cancelled and awaited so no
-        half-closed sockets or orphan tasks outlive the service.
+        half-closed sockets or orphan tasks outlive the service, and
+        every warm session is closed — which tears down worker pools
+        and unlinks shared-memory shard segments when the backend
+        factory built process-mode sharded backends.
         """
         if self._server is not None:
             self._server.close()
@@ -805,6 +808,8 @@ class PrivBasisService:
                 *self._connections, return_exceptions=True
             )
         self._connections.clear()
+        for session in self._sessions.values():
+            session.close()
         if self._store is not None:
             # Barrier + close every WAL handle.  Purely tidy-up: the
             # durability contract never depends on a clean shutdown

@@ -4,9 +4,10 @@ Every :class:`~repro.engine.backend.CountingBackend` must return
 *identical exact counts* — the DP mechanisms downstream are then
 backend-independent by construction.  These tests pin
 :class:`BitmapBackend` and :class:`ShardedBackend` (several shard
-sizes and worker counts) against the pure-Python
-:class:`NaiveBackend` oracle on random small databases, plus the edge
-cases (empty transactions, empty pools, the empty itemset).
+sizes and worker counts, in both ``threads`` and ``processes``
+execution modes) against the pure-Python :class:`NaiveBackend` oracle
+on random small databases, plus the edge cases (empty transactions,
+empty pools, the empty itemset).
 """
 
 from __future__ import annotations
@@ -45,13 +46,23 @@ def random_database(
 
 
 def backends_under_test(database: TransactionDatabase):
-    """The oracle plus every production backend configuration."""
+    """The oracle plus every production backend configuration.
+
+    The ``processes`` entry exercises the multi-core plane end to end
+    (shared-memory publication, descriptor dispatch, merge); on
+    platforms without shared memory it transparently answers in
+    thread mode, which keeps the equivalence property meaningful
+    everywhere.
+    """
     return [
         NaiveBackend(database),
         BitmapBackend(database),
         ShardedBackend(database, shard_size=7, max_workers=1),
         ShardedBackend(database, shard_size=13, max_workers=3),
         ShardedBackend(database, shard_size=10_000),  # single shard
+        ShardedBackend(
+            database, shard_size=13, max_workers=2, mode="processes"
+        ),
         CachedBackend(BitmapBackend(database)),
     ]
 

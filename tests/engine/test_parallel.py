@@ -1,0 +1,370 @@
+"""Multi-core counting-plane tests: shm, worker pool, lifecycle.
+
+Covers what the backend-equivalence suite (which already runs a
+``processes``-mode :class:`ShardedBackend` against the oracle) cannot:
+the shared-memory publish/attach roundtrip, the spawn-vs-fork start
+method matrix, the worker-crash → clean-:class:`WorkerPoolError`
+contract with pool rebuild, the thread-mode fallback when shared
+memory is unavailable, and the close/context-manager lifecycle down
+through :class:`PrivBasisSession`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.engine import (
+    BitmapBackend,
+    CachedBackend,
+    NaiveBackend,
+    PrivBasisSession,
+    ShardedBackend,
+)
+from repro.engine import parallel, shm
+from repro.errors import ValidationError, WorkerPoolError
+
+
+def random_database(
+    seed: int, num_transactions: int = 60, num_items: int = 16
+) -> TransactionDatabase:
+    rng = np.random.default_rng(seed)
+    member = rng.random((num_transactions, num_items)) < 0.3
+    return TransactionDatabase(
+        [np.flatnonzero(row) for row in member], num_items=num_items
+    )
+
+
+requires_shm = pytest.mark.skipif(
+    not shm.shared_memory_available(),
+    reason="platform offers no shared memory",
+)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segments
+# ----------------------------------------------------------------------
+@requires_shm
+class TestSegments:
+    def test_publish_attach_roundtrip(self):
+        database = random_database(0)
+        segment = shm.publish_shard(database)
+        try:
+            block, attached = shm.attach_segment(segment.spec)
+            try:
+                assert attached.num_transactions == (
+                    database.num_transactions
+                )
+                assert attached.num_items == database.num_items
+                for original, copy in zip(
+                    database.rows, attached.rows
+                ):
+                    np.testing.assert_array_equal(copy, original)
+                np.testing.assert_array_equal(
+                    attached.item_supports(), database.item_supports()
+                )
+            finally:
+                block.close()
+        finally:
+            segment.unlink()
+
+    def test_empty_shard_roundtrip(self):
+        database = TransactionDatabase([], num_items=5)
+        segment = shm.publish_shard(database)
+        try:
+            block, attached = shm.attach_segment(segment.spec)
+            try:
+                assert attached.num_transactions == 0
+                assert attached.num_items == 5
+            finally:
+                block.close()
+        finally:
+            segment.unlink()
+
+    def test_unlink_is_idempotent(self):
+        segment = shm.publish_shard(random_database(1))
+        segment.unlink()
+        segment.unlink()  # second call must not raise
+
+    def test_attach_rejects_inconsistent_spec(self):
+        segment = shm.publish_shard(random_database(2))
+        try:
+            bad_spec = shm.ShardSegmentSpec(
+                name=segment.spec.name,
+                num_rows=segment.spec.num_rows,
+                total_size=segment.spec.total_size + 1,
+                num_items=segment.spec.num_items,
+            )
+            with pytest.raises(ValidationError):
+                shm.attach_segment(bad_spec)
+        finally:
+            segment.unlink()
+
+
+# ----------------------------------------------------------------------
+# Start methods
+# ----------------------------------------------------------------------
+@requires_shm
+@pytest.mark.parametrize("method", ["spawn", "fork", "forkserver"])
+def test_start_method_matrix(method):
+    """Every OS-offered start method answers bit-identically."""
+    if method not in parallel.start_methods_available():
+        pytest.skip(f"start method {method!r} not available here")
+    database = random_database(3)
+    reference = BitmapBackend(database)
+    with ShardedBackend(
+        database,
+        shard_size=17,
+        max_workers=2,
+        mode="processes",
+        start_method=method,
+    ) as backend:
+        assert backend.effective_mode == "processes"
+        np.testing.assert_array_equal(
+            backend.item_supports(), reference.item_supports()
+        )
+        np.testing.assert_array_equal(
+            backend.bin_counts([1, 4, 9]),
+            reference.bin_counts([1, 4, 9]),
+        )
+        assert backend.pairwise_supports(range(5)) == (
+            reference.pairwise_supports(range(5))
+        )
+
+
+def test_unavailable_start_method_is_rejected():
+    with pytest.raises(ValidationError):
+        parallel.WorkerPool(1, start_method="not-a-method")
+
+
+def test_worker_pool_rejects_bad_width():
+    with pytest.raises(ValidationError):
+        parallel.WorkerPool(0)
+
+
+# ----------------------------------------------------------------------
+# Worker crash → clean error, then recovery
+# ----------------------------------------------------------------------
+@requires_shm
+def test_worker_crash_raises_clean_error_and_pool_rebuilds():
+    database = random_database(4)
+    reference = BitmapBackend(database)
+    backend = ShardedBackend(
+        database, shard_size=13, max_workers=1, mode="processes"
+    )
+    try:
+        expected = reference.bin_counts([0, 2, 5])
+        np.testing.assert_array_equal(
+            backend.bin_counts([0, 2, 5]), expected
+        )
+        crashed_pool = backend._pool
+        with pytest.raises(WorkerPoolError):
+            crashed_pool.map_tasks([("crash_for_testing", None, 1)])
+        assert crashed_pool.broken
+        # The broken pool refuses further work with the same clean
+        # error instead of hanging on dead workers.
+        with pytest.raises(WorkerPoolError):
+            crashed_pool.map_tasks([("ping", None, None)])
+        # The backend transparently rebuilds a fresh pool and keeps
+        # answering bit-identically.
+        np.testing.assert_array_equal(
+            backend.bin_counts([0, 2, 5]), expected
+        )
+        assert backend._pool is not crashed_pool
+        assert not backend._pool.broken
+    finally:
+        backend.close()
+
+
+@requires_shm
+def test_crash_during_backend_query_discards_pool():
+    database = random_database(5)
+    backend = ShardedBackend(
+        database, shard_size=11, max_workers=1, mode="processes"
+    )
+    try:
+        backend.bin_counts([1])  # start the pool
+        pool = backend._pool
+        with pytest.raises(WorkerPoolError):
+            backend._dispatch("crash_for_testing", 1)
+        assert backend._pool is None  # discarded, not reused
+        assert pool.broken
+        backend.bin_counts([1])  # next query rebuilds
+        assert backend._pool is not None
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Fallbacks and lifecycle
+# ----------------------------------------------------------------------
+def test_thread_fallback_when_shared_memory_unavailable(monkeypatch):
+    monkeypatch.setattr(
+        shm, "shared_memory_available", lambda: False
+    )
+    database = random_database(6)
+    backend = ShardedBackend(
+        database, shard_size=13, mode="processes"
+    )
+    reference = BitmapBackend(database)
+    np.testing.assert_array_equal(
+        backend.item_supports(), reference.item_supports()
+    )
+    assert backend.effective_mode == "threads"
+    assert backend._pool is None  # no workers were ever started
+
+
+@requires_shm
+def test_close_tears_down_and_falls_back_to_threads():
+    database = random_database(7)
+    reference = BitmapBackend(database)
+    backend = ShardedBackend(
+        database, shard_size=13, max_workers=1, mode="processes"
+    )
+    np.testing.assert_array_equal(
+        backend.bin_counts([2, 3]), reference.bin_counts([2, 3])
+    )
+    segments = list(backend._segments)
+    backend.close()
+    backend.close()  # idempotent
+    assert backend._pool is None
+    assert backend._segments is None
+    # The published blocks are gone from the OS.
+    from multiprocessing import shared_memory
+
+    for segment in segments:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment.spec.name)
+    # Closed backends stay queryable — in thread mode.
+    np.testing.assert_array_equal(
+        backend.bin_counts([2, 3]), reference.bin_counts([2, 3])
+    )
+
+
+@requires_shm
+def test_session_close_forwards_to_process_backend():
+    database = random_database(8)
+    inner = ShardedBackend(
+        database, shard_size=13, max_workers=1, mode="processes"
+    )
+    with PrivBasisSession(
+        database, backend=CachedBackend(inner)
+    ) as session:
+        result = session.release(k=5, epsilon=1.0, rng=0)
+        assert len(result.itemsets) == 5
+    assert inner._pool is None
+    assert inner._segments is None
+
+
+@requires_shm
+def test_extend_republishes_only_the_tail():
+    base = random_database(9, num_transactions=40)
+    backend = ShardedBackend(
+        base, shard_size=16, max_workers=1, mode="processes"
+    )
+    try:
+        backend.bin_counts([1, 2])  # publish 3 segments (16/16/8)
+        before = [segment.spec.name for segment in backend._segments]
+        delta = random_database(10, num_transactions=10)
+        backend.extend(delta)  # tail grows 8 → 16, new shard of 2
+        after = [segment.spec.name for segment in backend._segments]
+        assert after[:2] == before[:2]  # full shards untouched
+        assert after[2] != before[2]  # rebuilt tail republished
+        assert len(after) == 4
+        oracle = NaiveBackend(backend.database)
+        np.testing.assert_array_equal(
+            backend.bin_counts([1, 2]), oracle.bin_counts([1, 2])
+        )
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Batched primitives
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(3))
+def test_batched_primitives_match_scalar_loops(seed):
+    database = random_database(seed + 20)
+    rng = np.random.default_rng(seed)
+    itemsets = [
+        tuple(
+            sorted(
+                int(item)
+                for item in rng.choice(16, size=size, replace=False)
+            )
+        )
+        for size in (1, 2, 3, 2, 1)
+    ] + [()]
+    bases = [
+        [int(item) for item in rng.choice(16, size=size, replace=False)]
+        for size in (1, 3, 5)
+    ]
+    base = [int(item) for item in rng.choice(16, size=2, replace=False)]
+    candidates = [
+        int(item) for item in range(16) if item not in base
+    ]
+    oracle = NaiveBackend(database)
+    expected_conjunctions = [
+        oracle.conjunction_support(itemset) for itemset in itemsets
+    ]
+    expected_bins = [oracle.bin_counts(basis) for basis in bases]
+    expected_extensions = np.array(
+        [
+            oracle.conjunction_support(tuple(base) + (candidate,))
+            for candidate in candidates
+        ],
+        dtype=np.int64,
+    )
+    backends = [
+        oracle,
+        BitmapBackend(database),
+        ShardedBackend(database, shard_size=13, max_workers=2),
+        ShardedBackend(
+            database, shard_size=13, max_workers=2, mode="processes"
+        ),
+        CachedBackend(BitmapBackend(database)),
+    ]
+    for backend in backends:
+        assert backend.conjunction_supports(itemsets) == (
+            expected_conjunctions
+        ), repr(backend)
+        for got, want in zip(
+            backend.bin_counts_batch(bases), expected_bins
+        ):
+            np.testing.assert_array_equal(
+                got, want, err_msg=repr(backend)
+            )
+        np.testing.assert_array_equal(
+            backend.extension_supports(base, candidates),
+            expected_extensions,
+            err_msg=repr(backend),
+        )
+        np.testing.assert_array_equal(
+            backend.extension_supports(base, []),
+            np.zeros(0, dtype=np.int64),
+            err_msg=repr(backend),
+        )
+        backend.close()
+
+
+def test_cached_batches_only_misses():
+    database = random_database(30)
+    inner = BitmapBackend(database)
+    backend = CachedBackend(inner)
+    bases = [[1, 2], [3, 4]]
+    first = backend.bin_counts_batch(bases)
+    info = backend.cache_info()["bin_counts"]
+    assert info == {"hits": 0, "misses": 2}
+    second = backend.bin_counts_batch(bases + [[1, 2]])
+    info = backend.cache_info()["bin_counts"]
+    assert info == {"hits": 3, "misses": 2}
+    for got, want in zip(second[:2], first):
+        np.testing.assert_array_equal(got, want)
+    np.testing.assert_array_equal(second[2], first[0])
+    # Conjunctions: repeats inside one batch count as hits, and the
+    # inner backend only ever sees each distinct key once.
+    supports = backend.conjunction_supports([(1,), (1,), (2, 3)])
+    assert supports[0] == supports[1]
+    info = backend.cache_info()["conjunction_support"]
+    assert info == {"hits": 1, "misses": 2}
