@@ -12,6 +12,7 @@ paper-matched generators in :mod:`repro.datasets.generators`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List
 
@@ -126,6 +127,40 @@ def generate_quest(
     return TransactionDatabase(
         transactions, num_items=config.num_items
     )
+
+
+#: The importable spec for :func:`quest_loader` — hand this to
+#: :class:`~repro.service.cluster.ClusterConfig` as ``loader_spec``.
+QUEST_LOADER_SPEC = "repro.datasets.synthetic:quest_loader"
+
+
+def quest_loader(name: str):
+    """A name-parameterized dataset loader for clusters and benchmarks.
+
+    Accepts *any* dataset name (``"quest/0"``, ``"soak/17"``, …) and
+    generates a small Quest database whose seed is derived from the
+    name, so every process that loads the same name — e.g. the
+    cluster's worker processes, or a worker restarted after a crash —
+    builds a byte-identical database and therefore identical exact
+    counting state.  Deliberately small (a few hundred transactions)
+    so cold builds stay cheap under fault-injection churn.
+
+    Module-level and addressed by :data:`QUEST_LOADER_SPEC` so
+    ``spawn``-started workers can import it
+    (:func:`repro.service.cluster.resolve_loader_spec`).
+    """
+    digest = hashlib.blake2b(
+        str(name).encode("utf-8"), digest_size=8
+    ).digest()
+    seed = int.from_bytes(digest, "big")
+    config = QuestConfig(
+        num_transactions=240,
+        num_items=48,
+        avg_transaction_length=6.0,
+        avg_pattern_length=3.0,
+        num_patterns=24,
+    )
+    return generate_quest(config, rng=np.random.default_rng(seed))
 
 
 def _potential_patterns(

@@ -186,6 +186,30 @@ class OverloadedError(ReproError):
         )
 
 
+class WorkerUnavailableError(ReproError):
+    """The cluster router lost the worker handling a request.
+
+    Raised (and mapped to HTTP 503 ``worker_unavailable``) by
+    :mod:`repro.service.router` when the worker process that owned a
+    request dies before answering.  Safe reads (``GET``) are retried
+    on surviving workers before this surfaces; spending requests
+    (``POST``) are **never** retried — a retry could double-charge ε —
+    so the client sees this error and must decide, knowing the debit
+    may or may not have been journaled (check ``GET /v1/budget``; the
+    invariant direction guarantees at worst an over-count, never a
+    free release).
+    """
+
+    wire_code = "worker_unavailable"
+
+    def __init__(self, detail: str = "") -> None:
+        self.detail = str(detail)
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"the worker serving this request is unavailable{suffix}"
+        )
+
+
 def wire_code_for(error: BaseException) -> str:
     """The stable wire code for ``error`` (``internal_error`` for
     anything outside the :class:`ReproError` hierarchy)."""

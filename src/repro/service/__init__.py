@@ -23,17 +23,28 @@ session's incremental ``extend`` path (serialized with releases per
 dataset), ``GET /v1/snapshot`` reports the served data version, and
 every release response carries the ``snapshot_version`` it was
 computed on — see ``docs/streaming.md``.
+
+Cluster mode: ``python -m repro.service --workers N --state-dir DIR``
+runs N worker processes (:mod:`repro.service.cluster`) behind a
+dataset-affinity router (:mod:`repro.service.router`), coordinating
+ε admission through the shared write-ahead ledger — see
+``docs/operations.md``.
 """
 
 from repro.service.app import PrivBasisService
 from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.cluster import ClusterConfig, PrivBasisCluster
 from repro.service.coalesce import Coalescer
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.registry import Tenant, TenantRegistry
+from repro.service.router import ClusterRouter
 
 __all__ = [
+    "ClusterConfig",
+    "ClusterRouter",
     "Coalescer",
     "LatencyHistogram",
+    "PrivBasisCluster",
     "PrivBasisService",
     "ServiceClient",
     "ServiceHTTPError",

@@ -48,6 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-build every tenant dataset's session before serving",
     )
     parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run N worker processes behind a routing front door "
+             "(requires --state-dir: workers coordinate ε admission "
+             "through the shared durable ledger); 0 (default) serves "
+             "from a single process",
+    )
+    parser.add_argument(
         "--state-dir", metavar="DIR", default=None,
         help="durable state directory (write-ahead ε ledgers, ingest "
              "logs, released results); restart with the same DIR to "
@@ -107,7 +114,56 @@ def backend_factory_for(arguments: argparse.Namespace):
     return factory
 
 
+async def _run_cluster(arguments: argparse.Namespace) -> int:
+    """Serve ``--workers N`` processes behind the cluster router."""
+    import json
+
+    from repro.service.cluster import ClusterConfig, PrivBasisCluster
+
+    if arguments.tenants:
+        with open(arguments.tenants, "r", encoding="utf-8") as handle:
+            tenants = json.load(handle)
+    else:
+        tenants = {
+            "alice": {"dataset": "mushroom", "epsilon_limit": 5.0},
+            "bob": {"dataset": "mushroom", "epsilon_limit": 2.0},
+        }
+    config = ClusterConfig(
+        tenants=tenants,
+        state_dir=arguments.state_dir,
+        num_workers=arguments.workers,
+        fsync=arguments.fsync,
+        max_inflight=arguments.max_inflight,
+        parallel=arguments.parallel,
+        shard_workers=arguments.shard_workers,
+        shard_size=arguments.shard_size,
+    )
+    cluster = PrivBasisCluster(config)
+    host, port = await cluster.start(arguments.host, arguments.port)
+    print(
+        f"privbasis cluster on http://{host}:{port} "
+        f"({arguments.workers} workers, shared state in "
+        f"{arguments.state_dir}, fsync={arguments.fsync})"
+    )
+    try:
+        await cluster.router.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await cluster.stop()
+    return 0
+
+
 async def _run(arguments: argparse.Namespace) -> int:
+    if arguments.workers:
+        if not arguments.state_dir:
+            print(
+                "--workers requires --state-dir (cluster workers "
+                "coordinate ε admission through the shared ledger)",
+                file=sys.stderr,
+            )
+            return 2
+        return await _run_cluster(arguments)
     registry = (
         TenantRegistry.from_json_file(arguments.tenants)
         if arguments.tenants

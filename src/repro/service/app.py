@@ -70,6 +70,7 @@ from repro.errors import (
     ReproError,
     UnknownTenantError,
     ValidationError,
+    WorkerUnavailableError,
     error_to_wire,
 )
 from repro.pipeline.plan import build_plan
@@ -119,6 +120,8 @@ def _status_for(error: ReproError) -> int:
         return 403
     if isinstance(error, OverloadedError):
         return 429
+    if isinstance(error, WorkerUnavailableError):
+        return 503
     if isinstance(error, ValidationError):
         return 400
     return 500
@@ -155,6 +158,11 @@ class PrivBasisService:
         ``state_dir``): ``"batch"`` (default; debits buffer and one
         barrier per release makes them durable), ``"always"``, or
         ``"never"`` (benchmarks only — crashes may then under-count).
+    shared_state:
+        ``True`` when other worker processes serve the same
+        ``state_dir`` concurrently (cluster mode): the store opens its
+        ledger in flock-serialized shared mode so ε admission is
+        atomic cluster-wide.  Requires ``state_dir``.
     """
 
     def __init__(
@@ -165,6 +173,7 @@ class PrivBasisService:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         state_dir: Optional[str] = None,
         fsync: str = "batch",
+        shared_state: bool = False,
     ) -> None:
         if max_inflight < 1:
             raise ValidationError(
@@ -195,6 +204,11 @@ class PrivBasisService:
         self._in_flight = 0
         self._store = None
         self._dataset_stores: Dict[str, Any] = {}
+        if shared_state and state_dir is None:
+            raise ValidationError(
+                "shared_state requires a state_dir: cluster workers "
+                "coordinate through the durable ledger"
+            )
         if state_dir is not None:
             from repro.store.state import StateStore
 
@@ -203,7 +217,9 @@ class PrivBasisService:
             # future spend write-ahead.  This happens before any
             # request can be served, so there is no window where a
             # recovered tenant could overspend.
-            self._store = StateStore(state_dir, fsync=fsync)
+            self._store = StateStore(
+                state_dir, fsync=fsync, shared=shared_state
+            )
             registry.attach_journal(self._store.ledger)
         self._coalescer = Coalescer()
         self._sessions: Dict[str, PrivBasisSession] = {}

@@ -23,6 +23,7 @@ from repro.errors import (
     UnknownPlannerError,
     UnknownTenantError,
     ValidationError,
+    WorkerUnavailableError,
 )
 from repro.service import http
 
@@ -62,6 +63,8 @@ def _raise_for(status: int, payload: Any) -> None:
         raise OverloadedError(
             payload.get("in_flight", 0), payload.get("limit", 0)
         )
+    if code == "worker_unavailable":
+        raise WorkerUnavailableError(message)
     if code in ("validation_error", "protocol_error"):
         raise ValidationError(message or f"HTTP {status}")
     raise ServiceHTTPError(status, payload)

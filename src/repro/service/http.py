@@ -21,10 +21,12 @@ from urllib.parse import parse_qs, urlsplit
 __all__ = [
     "HTTPRequest",
     "ProtocolError",
+    "read_raw_response",
     "read_request",
     "read_response",
+    "write_raw_request",
+    "write_raw_response",
     "write_response",
-    "write_request",
 ]
 
 #: Hard limits on inbound framing.
@@ -47,6 +49,7 @@ _STATUS_REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -198,6 +201,43 @@ async def read_response(
     reader: asyncio.StreamReader,
 ) -> Tuple[int, object]:
     """Parse one response into ``(status, decoded JSON payload)``."""
+    status, body = await read_raw_response(reader)
+    payload = json.loads(body) if body else None
+    return status, payload
+
+
+def write_raw_request(
+    writer: asyncio.StreamWriter,
+    method: str,
+    target: str,
+    body: bytes = b"",
+) -> None:
+    """Forward one request with an already-serialized body.
+
+    The router's proxy path: it re-frames the request (its own
+    ``Content-Length``/keep-alive headers) but never re-encodes the
+    JSON body, so what a worker parses is byte-for-byte what the
+    client sent.  ``target`` carries the path *and* query string.
+    """
+    head = (
+        f"{method} {target} HTTP/1.1\r\n"
+        f"Host: privbasis\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: keep-alive\r\n"
+        f"\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+
+
+async def read_raw_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, bytes]:
+    """Parse one response into ``(status, raw body bytes)``.
+
+    The router forwards worker responses without decoding them;
+    :func:`read_response` layers JSON decoding on top for clients.
+    """
     status_line = await _read_line(reader, MAX_REQUEST_LINE)
     if not status_line:
         raise ProtocolError(400, "server closed the connection")
@@ -216,5 +256,27 @@ async def read_response(
     if length > MAX_RESPONSE_BYTES:
         raise ProtocolError(413, "response body too large")
     body = await reader.readexactly(length) if length else b""
-    payload = json.loads(body) if body else None
-    return status, payload
+    return status, body
+
+
+def write_raw_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    keep_alive: bool = True,
+) -> None:
+    """Relay an already-serialized JSON body as a response.
+
+    The router's reply path — the worker's payload goes back to the
+    client byte-for-byte under the router's own framing.
+    """
+    reason = _STATUS_REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)

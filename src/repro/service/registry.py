@@ -84,14 +84,23 @@ class Tenant:
         before it reaches memory (the live path).  From here on
         :attr:`spent` reads the journaled value, so both paths answer
         admission checks from the same number.
+
+        The hook goes through the journal's atomic
+        :meth:`~repro.store.ledger.LedgerJournal.debit_within_limit`,
+        so ``epsilon_limit`` is enforced by the journal itself at the
+        instant of the debit.  For a single process that merely
+        re-verifies what :meth:`charge` already checked; on a
+        cluster-shared journal it is the *binding* check — the one
+        place two workers racing a tenant's last ε get serialized.
         """
         restored = journal.entries(self.tenant_id)
         if restored:
             self.ledger.restore_entries(restored)
         tenant_id = self.tenant_id
+        limit = float(self.epsilon_limit)
         self.ledger.attach_journal(
-            lambda label, epsilon: journal.debit(
-                tenant_id, epsilon, label
+            lambda label, epsilon: journal.debit_within_limit(
+                tenant_id, epsilon, limit, label
             )
         )
         self._journal = journal
@@ -139,13 +148,36 @@ class Tenant:
         return self.ledger.spend(epsilon, label=label)
 
     def snapshot(self) -> Dict[str, object]:
-        """The ``/v1/budget`` payload for this tenant."""
+        """The ``/v1/budget`` payload for this tenant.
+
+        With a durable journal attached the ledger section is built
+        from the *journal* (same shape as the in-memory
+        :meth:`~repro.dp.budget.PrivacyBudget.snapshot`): for one
+        process the two are in lockstep, but on a cluster-shared
+        journal only the journal sees debits other workers made, and
+        a budget read must never show a tenant less spent than the
+        cluster has recorded.
+        """
+        if self._journal is not None:
+            ledger_view: Dict[str, object] = {
+                "epsilon": float(self.epsilon_limit),
+                "spent": self.spent,
+                "remaining": self.remaining,
+                "entries": [
+                    {"label": label, "epsilon": epsilon}
+                    for label, epsilon in self._journal.entries(
+                        self.tenant_id
+                    )
+                ],
+            }
+        else:
+            ledger_view = self.ledger.snapshot()
         return {
             "tenant": self.tenant_id,
             "dataset": self.dataset,
             "epsilon_limit": self.epsilon_limit,
             "ingest": self.ingest,
-            "ledger": self.ledger.snapshot(),
+            "ledger": ledger_view,
         }
 
 

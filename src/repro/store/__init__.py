@@ -22,18 +22,25 @@ runbook, and ``docs/privacy-accounting.md`` for why durability is
 part of the privacy argument.
 """
 
-from repro.store.ledger import LedgerJournal
+from repro.store.ledger import (
+    LedgerJournal,
+    SharedLedgerJournal,
+    read_spent_totals,
+)
 from repro.store.logstore import DatasetLogStore
 from repro.store.results import ResultStore
 from repro.store.state import RecoveryReport, StateStore
-from repro.store.wal import ReplayResult, WriteAheadLog
+from repro.store.wal import FileLock, ReplayResult, WriteAheadLog
 
 __all__ = [
     "DatasetLogStore",
+    "FileLock",
     "LedgerJournal",
     "RecoveryReport",
     "ReplayResult",
     "ResultStore",
+    "SharedLedgerJournal",
     "StateStore",
     "WriteAheadLog",
+    "read_spent_totals",
 ]

@@ -21,6 +21,15 @@ invariant — **spent ε on disk is always ≥ ε behind released answers**:
 Compaction folds the WAL into ``ledger.snapshot.json`` (written
 atomically) and truncates the WAL, bounding replay time for
 long-lived deployments without changing any recovered value.
+
+Cluster sharing: :class:`SharedLedgerJournal` lets N worker
+*processes* debit one ledger WAL concurrently.  Every mutation and
+every torn-tail repair runs under one ``flock`` file lock
+(``ledger.lock``), and :meth:`~SharedLedgerJournal.debit_within_limit`
+makes the admission check-and-debit atomic cluster-wide — two workers
+racing the last ε of a tenant's limit cannot both win.
+:func:`read_spent_totals` is the matching read-only audit path (the
+soak harness's invariant checker).
 """
 
 from __future__ import annotations
@@ -31,16 +40,36 @@ import os
 from pathlib import Path
 from typing import Dict, List, Tuple
 
-from repro.errors import StateStoreError, ValidationError
-from repro.store.wal import WriteAheadLog, fsync_directory
+from repro.errors import (
+    BudgetExceededError,
+    StateStoreError,
+    ValidationError,
+)
+from repro.store.wal import (
+    FileLock,
+    WriteAheadLog,
+    _unframe,
+    fsync_directory,
+)
 
-__all__ = ["LedgerJournal"]
+__all__ = [
+    "LedgerJournal",
+    "SharedLedgerJournal",
+    "read_spent_totals",
+]
 
 #: WAL filename inside the state directory.
 LEDGER_WAL = "ledger.wal"
 
 #: Compacted snapshot filename (atomic-replace target).
 LEDGER_SNAPSHOT = "ledger.snapshot.json"
+
+#: Lock file serializing cluster-shared ledger access.
+LEDGER_LOCK = "ledger.lock"
+
+#: Relative tolerance for limit checks, matching
+#: :class:`~repro.dp.budget.PrivacyBudget` and the tenant registry.
+_REL_TOL = 1e-9
 
 
 class LedgerJournal:
@@ -150,6 +179,33 @@ class LedgerJournal:
             tenant_id, 0.0
         ) + float(epsilon)
 
+    def _check_within_limit(
+        self, tenant_id: str, epsilon: float, limit: float
+    ) -> None:
+        """Raise :class:`~repro.errors.BudgetExceededError` if the
+        debit would push the tenant past ``limit``."""
+        spent = self._totals.get(str(tenant_id), 0.0)
+        remaining = max(0.0, float(limit) - spent)
+        if epsilon > remaining + _REL_TOL * float(limit):
+            raise BudgetExceededError(epsilon, remaining)
+
+    def debit_within_limit(
+        self, tenant_id: str, epsilon: float, limit: float,
+        label: str = "",
+    ) -> None:
+        """Check ``limit`` against the journaled total, then debit.
+
+        The admission primitive the service's write-ahead hook calls:
+        check and debit happen against the same journal state, so the
+        journal itself enforces the per-tenant cap rather than
+        trusting each caller's cached view.  In this single-process
+        journal the two steps cannot interleave with anything;
+        :class:`SharedLedgerJournal` overrides this to make the pair
+        atomic across worker processes.
+        """
+        self._check_within_limit(tenant_id, epsilon, limit)
+        self.debit(tenant_id, epsilon, label)
+
     def sync(self) -> None:
         """Durability barrier — call before releasing a noisy answer."""
         self._wal.sync()
@@ -218,7 +274,7 @@ class LedgerJournal:
         return {
             "tenants": {
                 tenant: {
-                    "spent": self.spent(tenant),
+                    "spent": self._totals.get(tenant, 0.0),
                     "debits": len(entries),
                 }
                 for tenant, entries in sorted(self._entries.items())
@@ -233,3 +289,204 @@ class LedgerJournal:
             f"LedgerJournal({str(self._directory)!r}, "
             f"tenants={len(self._entries)})"
         )
+
+
+class SharedLedgerJournal(LedgerJournal):
+    """A ledger journal safe for N worker *processes* on one WAL.
+
+    The cluster's single point of ε truth.  Three things change
+    relative to the single-process base class, all serialized on one
+    ``flock`` file lock (``ledger.lock``):
+
+    * **Tail-following refresh** — before any read or write the
+      journal folds in records other workers appended since its last
+      look (an offset-tracked incremental read, not a full replay).
+    * **Locked torn-tail repair** — a partial line can only belong to
+      a *dead* writer (live appends complete inside the lock), so the
+      refresh truncates it safely; the unlocked base-class behavior
+      would let a restarting worker chop off debits live workers had
+      already acknowledged.
+    * **Atomic admission** — :meth:`debit_within_limit` runs
+      refresh → check → append as one critical section, so the
+      per-tenant ``epsilon_limit`` holds cluster-wide even when two
+      workers race for the last of a tenant's budget.
+
+    :meth:`compact` is refused: rewriting the WAL moves it to a new
+    inode while other workers hold ``O_APPEND`` handles to the old
+    one, silently losing their debits.  Compact offline (cluster
+    stopped) with the regular :class:`LedgerJournal` instead; the
+    refresh detects the shrunken file and reloads.
+    """
+
+    def __init__(self, directory, fsync: str = "batch") -> None:
+        self._lock = FileLock(Path(directory) / LEDGER_LOCK)
+        with self._lock.held():
+            super().__init__(directory, fsync=fsync)
+            self._offset = self._wal.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Cross-process refresh (caller holds the lock)
+    # ------------------------------------------------------------------
+    def _reload_locked(self) -> None:
+        """Full reload after the WAL shrank (offline compaction)."""
+        self._wal.close()
+        self._entries = {}
+        self._totals = {}
+        self._load()
+        self._offset = self._wal.size_bytes()
+
+    def _refresh_locked(self) -> None:
+        """Fold in records other workers appended since our last look.
+
+        Caller holds the lock.  Reads only the new byte range; a
+        damaged or partial tail belongs to a dead writer (nobody can
+        be mid-append while we hold the lock) and is truncated off —
+        the locked repair that makes crash recovery safe with live
+        writers.
+        """
+        size = self._wal.size_bytes()
+        if size < self._offset:
+            self._reload_locked()
+            return
+        if size == self._offset:
+            return
+        with open(self._wal.path, "rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read()
+        consumed = 0
+        repair_at = None
+        while True:
+            newline = data.find(b"\n", consumed)
+            if newline < 0:
+                if consumed < len(data):
+                    repair_at = consumed  # dead writer's partial line
+                break
+            parsed = _unframe(data[consumed:newline])
+            if parsed is None:
+                repair_at = consumed
+                break
+            _, payload = parsed
+            if payload.get("type") == "debit":
+                tenant = str(payload["tenant"])
+                epsilon = float(payload["epsilon"])
+                self._entries.setdefault(tenant, []).append(
+                    (str(payload.get("label", "")), epsilon)
+                )
+                self._totals[tenant] = self._totals.get(
+                    tenant, 0.0
+                ) + epsilon
+            consumed = newline + 1
+        if repair_at is not None:
+            self._torn_records += 1
+            self._wal.close()
+            with open(self._wal.path, "rb+") as handle:
+                handle.truncate(self._offset + repair_at)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._offset += repair_at
+        else:
+            self._offset += consumed
+
+    # ------------------------------------------------------------------
+    # Locked overrides
+    # ------------------------------------------------------------------
+    def debit(
+        self, tenant_id: str, epsilon: float, label: str = ""
+    ) -> None:
+        """Record one debit, serialized against every other worker."""
+        with self._lock.held():
+            self._refresh_locked()
+            super().debit(tenant_id, epsilon, label)
+            self._offset = self._wal.size_bytes()
+
+    def debit_within_limit(
+        self, tenant_id: str, epsilon: float, limit: float,
+        label: str = "",
+    ) -> None:
+        """Atomic cluster-wide check-and-debit (see class docstring)."""
+        with self._lock.held():
+            self._refresh_locked()
+            self._check_within_limit(tenant_id, epsilon, limit)
+            super().debit(tenant_id, epsilon, label)
+            self._offset = self._wal.size_bytes()
+
+    def spent(self, tenant_id: str) -> float:
+        """Cluster-wide journaled spent ε (refreshes first)."""
+        with self._lock.held():
+            self._refresh_locked()
+        return super().spent(tenant_id)
+
+    def entries(self, tenant_id: str) -> List[Tuple[str, float]]:
+        """Cluster-wide debit history for one tenant (refreshes first)."""
+        with self._lock.held():
+            self._refresh_locked()
+        return super().entries(tenant_id)
+
+    def tenant_ids(self) -> List[str]:
+        """Every tenant any worker has debited (refreshes first)."""
+        with self._lock.held():
+            self._refresh_locked()
+        return super().tenant_ids()
+
+    def stats(self) -> Dict[str, object]:
+        """Cluster-wide journal telemetry (refreshes first)."""
+        with self._lock.held():
+            self._refresh_locked()
+        return super().stats()
+
+    def compact(self) -> Dict[str, object]:
+        """Refused: see the class docstring (compact offline)."""
+        raise StateStoreError(
+            "a shared ledger journal cannot compact while workers may "
+            "be writing; stop the cluster and run "
+            "'store compact' offline"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedLedgerJournal({str(self._directory)!r}, "
+            f"tenants={len(self._entries)})"
+        )
+
+
+def read_spent_totals(directory) -> Dict[str, float]:
+    """Audit read of cluster-wide journaled spent ε per tenant.
+
+    Parses ``ledger.snapshot.json`` plus ``ledger.wal`` directly —
+    under the shared ``flock`` so it serializes with live debits, but
+    strictly read-only (never truncates, never appends, keeps no
+    state).  This is the invariant checker's view: after any fault,
+    ``read_spent_totals(dir)[tenant]`` must be ≥ the ε behind every
+    answer that tenant has actually received.
+    """
+    root = Path(directory)
+    collected: Dict[str, List[float]] = {}
+    with FileLock(root / LEDGER_LOCK).held():
+        snapshot_path = root / LEDGER_SNAPSHOT
+        if snapshot_path.exists():
+            with open(snapshot_path, "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+            for tenant, items in snapshot.get("tenants", {}).items():
+                collected.setdefault(str(tenant), []).extend(
+                    float(item["epsilon"]) for item in items
+                )
+        wal_path = root / LEDGER_WAL
+        if wal_path.exists():
+            with open(wal_path, "rb") as handle:
+                lines = handle.read().split(b"\n")
+            if lines and lines[-1] == b"":
+                lines.pop()
+            for line in lines:
+                parsed = _unframe(line)
+                if parsed is None:
+                    break  # torn tail: nothing after it was acked
+                _, payload = parsed
+                if payload.get("type") != "debit":
+                    continue
+                collected.setdefault(
+                    str(payload["tenant"]), []
+                ).append(float(payload["epsilon"]))
+    return {
+        tenant: math.fsum(values)
+        for tenant, values in collected.items()
+    }

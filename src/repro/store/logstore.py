@@ -113,6 +113,12 @@ class DatasetLogStore:
         checkpoint's size, keeping the rewrite cost amortized O(1)
         per row (see ``_should_checkpoint``).  ``None`` disables
         automatic checkpointing (``compact`` still works on demand).
+    lock:
+        Optional :class:`~repro.store.wal.FileLock` serializing WAL
+        appends and replay against other worker processes sharing the
+        state directory (cluster mode; dataset affinity keeps live
+        appenders unique per dataset, the lock protects boot-time
+        replay racing a failover owner's tail append).
     """
 
     def __init__(
@@ -121,6 +127,7 @@ class DatasetLogStore:
         dataset: str,
         fsync: str = "batch",
         checkpoint_interval: Optional[int] = DEFAULT_CHECKPOINT_INTERVAL,
+        lock=None,
     ) -> None:
         if checkpoint_interval is not None and checkpoint_interval < 1:
             raise ValidationError(
@@ -130,7 +137,9 @@ class DatasetLogStore:
         self.dataset = dataset
         stem = sanitize_dataset_name(dataset)
         logs_dir = Path(directory) / LOGS_SUBDIR
-        self._wal = WriteAheadLog(logs_dir / f"{stem}.wal", fsync=fsync)
+        self._wal = WriteAheadLog(
+            logs_dir / f"{stem}.wal", fsync=fsync, lock=lock
+        )
         self._checkpoint_path = logs_dir / f"{stem}.checkpoint.json"
         self._checkpoint_interval = checkpoint_interval
         self._version = 0

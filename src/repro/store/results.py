@@ -62,18 +62,22 @@ class ResultStore:
     retention:
         In-memory most-recent window per tenant (see module
         docstring); aggregates stay exact regardless.
+    lock:
+        Optional :class:`~repro.store.wal.FileLock` serializing WAL
+        appends and replay against other worker processes sharing the
+        state directory (cluster mode).
     """
 
     def __init__(
         self, directory, fsync: str = "batch",
-        retention: int = RESULT_RETENTION,
+        retention: int = RESULT_RETENTION, lock=None,
     ) -> None:
         if retention < 1:
             raise ValidationError(
                 f"retention must be >= 1, got {retention}"
             )
         self._wal = WriteAheadLog(
-            Path(directory) / RESULTS_WAL, fsync=fsync
+            Path(directory) / RESULTS_WAL, fsync=fsync, lock=lock
         )
         self._retention = retention
         #: Per-tenant most-recent entries, oldest first, bounded.

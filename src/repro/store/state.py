@@ -28,10 +28,10 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.errors import StateStoreError
-from repro.store.ledger import LedgerJournal
+from repro.store.ledger import LedgerJournal, SharedLedgerJournal
 from repro.store.logstore import DatasetLogStore, sanitize_dataset_name
 from repro.store.results import ResultStore
-from repro.store.wal import require_directory
+from repro.store.wal import FileLock, require_directory
 
 __all__ = ["StateStore", "RecoveryReport"]
 
@@ -101,6 +101,15 @@ class StateStore:
         Ingest batches between automatic per-dataset checkpoint folds;
         ``None`` disables automatic checkpointing, omitting it keeps
         the per-dataset default (64).
+    shared:
+        ``True`` when several worker *processes* serve this directory
+        at once (the cluster of :mod:`repro.service.cluster`).  The
+        ledger becomes a :class:`~repro.store.ledger.SharedLedgerJournal`
+        (flock-serialized, cluster-atomic admission) and the result /
+        dataset WALs serialize their appends and replay repair on a
+        shared ``store.lock``; :meth:`compact` is refused (offline
+        only).  The default ``False`` keeps the single-writer fast
+        path byte-for-byte as before.
     """
 
     def __init__(
@@ -108,12 +117,22 @@ class StateStore:
         root,
         fsync: str = "batch",
         checkpoint_interval=_UNSET,
+        shared: bool = False,
     ) -> None:
         self.root = require_directory(root)
         self._fsync = fsync
         self._checkpoint_interval = checkpoint_interval
-        self.ledger = LedgerJournal(self.root, fsync=fsync)
-        self.results = ResultStore(self.root, fsync=fsync)
+        self.shared = bool(shared)
+        self._store_lock = (
+            FileLock(self.root / "store.lock") if self.shared else None
+        )
+        if self.shared:
+            self.ledger = SharedLedgerJournal(self.root, fsync=fsync)
+        else:
+            self.ledger = LedgerJournal(self.root, fsync=fsync)
+        self.results = ResultStore(
+            self.root, fsync=fsync, lock=self._store_lock
+        )
         self._dataset_logs: Dict[str, DatasetLogStore] = {}
         self._stems: Dict[str, str] = {}
         self.recovery = RecoveryReport()
@@ -147,7 +166,8 @@ class StateStore:
             if self._checkpoint_interval is not _UNSET:
                 kwargs["checkpoint_interval"] = self._checkpoint_interval
             store = DatasetLogStore(
-                self.root, dataset, fsync=self._fsync, **kwargs
+                self.root, dataset, fsync=self._fsync,
+                lock=self._store_lock, **kwargs
             )
             self._stems[stem] = dataset
             self._dataset_logs[dataset] = store
@@ -172,8 +192,16 @@ class StateStore:
 
         Also opens (and compacts) any dataset logs present on disk
         that no session has touched yet, so an offline ``store
-        compact`` covers the whole directory.
+        compact`` covers the whole directory.  Refused on a shared
+        store: compaction renames WALs out from under other workers'
+        append handles — stop the cluster and compact offline.
         """
+        if self.shared:
+            raise StateStoreError(
+                "cannot compact a cluster-shared state directory "
+                "while workers may be writing; stop the cluster and "
+                "run 'store compact' offline"
+            )
         for store in self._scan_dataset_logs():
             self._dataset_logs.setdefault(store.dataset, store)
         return {

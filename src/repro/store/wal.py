@@ -34,22 +34,89 @@ barrier runs first pays for every record buffered so far.
   slowest; useful for tiny control files).
 * ``"never"`` — barriers flush but never fsync (tests and benchmarks
   measuring the non-durability ceiling).
+
+Multi-process sharing
+---------------------
+A WAL file can be shared by several *processes* (the cluster mode of
+:mod:`repro.service.cluster`): appends go through ``O_APPEND``
+handles, so concurrent single-``write`` line appends never interleave.
+The one unsafe combination is replay's torn-tail **truncation** racing
+another process's append — pass a :class:`FileLock` as ``lock`` and
+every append/replay/rewrite serializes on it, making recovery repair
+safe while writers are live.  ``sync`` needs no lock (fsync mutates
+nothing).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import zlib
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import StateStoreError, ValidationError
 
-__all__ = ["WriteAheadLog", "ReplayResult", "FSYNC_POLICIES"]
+try:  # POSIX only; cluster mode refuses to start without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock", "WriteAheadLog", "ReplayResult", "FSYNC_POLICIES"]
 
 #: The fsync policies :class:`WriteAheadLog` accepts.
 FSYNC_POLICIES = ("batch", "always", "never")
+
+
+class FileLock:
+    """An advisory cross-process mutex over one lock file (``flock``).
+
+    The serialization primitive behind cluster-shared stores: every
+    worker process (and every thread within one — each hold opens its
+    own descriptor, and ``flock`` locks conflict across descriptors)
+    that holds the lock excludes all others, on the same machine,
+    for the duration of a :meth:`held` block::
+
+        lock = FileLock(state_dir / "ledger.lock")
+        with lock.held():
+            ...  # read-check-append atomically across processes
+
+    Not reentrant: acquiring while already held by the same thread
+    deadlocks, so holders must never nest.  POSIX-only (``fcntl``);
+    :meth:`held` raises :class:`~repro.errors.StateStoreError` on
+    platforms without it rather than silently not locking.
+    """
+
+    def __init__(self, path) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        """Where the lock file lives."""
+        return self._path
+
+    @contextlib.contextmanager
+    def held(self) -> Iterator[None]:
+        """Hold the exclusive lock for the duration of the block."""
+        if fcntl is None:
+            raise StateStoreError(
+                "file locking needs fcntl (POSIX); shared state "
+                "directories are not supported on this platform"
+            )
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(self._path), os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    def __repr__(self) -> str:
+        return f"FileLock({str(self._path)!r})"
 
 
 class ReplayResult:
@@ -129,9 +196,17 @@ class WriteAheadLog:
         The log file; parent directories are created on first append.
     fsync:
         One of :data:`FSYNC_POLICIES` — when appends become durable.
+    lock:
+        Optional :class:`FileLock` serializing appends and replay
+        truncation against other *processes* sharing this file (see
+        the module docstring); ``None`` (default) assumes a single
+        writing process.
     """
 
-    def __init__(self, path, fsync: str = "batch") -> None:
+    def __init__(
+        self, path, fsync: str = "batch",
+        lock: Optional[FileLock] = None,
+    ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValidationError(
                 f"fsync must be one of {list(FSYNC_POLICIES)}, "
@@ -139,6 +214,7 @@ class WriteAheadLog:
             )
         self._path = Path(path)
         self._fsync = fsync
+        self._lock = lock
         self._handle = None
         self._next_seq = 0
         #: Durability watermark: appends are numbered by
@@ -169,6 +245,12 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
+    def _guard(self):
+        """The cross-process critical section (no-op when unshared)."""
+        if self._lock is None:
+            return contextlib.nullcontext()
+        return self._lock.held()
+
     def _ensure_open(self) -> None:
         if self._handle is None:
             created = not self._path.exists()
@@ -187,14 +269,15 @@ class WriteAheadLog:
         next :meth:`sync` barrier (policy ``"batch"``) or immediately
         (policy ``"always"``).
         """
-        self._ensure_open()
-        seq = self._next_seq
-        self._handle.write(_frame(seq, payload))
-        self._handle.flush()
-        self._next_seq += 1
-        self.appends += 1
-        if self._fsync == "always":
-            self._do_sync(self.appends)
+        with self._guard():
+            self._ensure_open()
+            seq = self._next_seq
+            self._handle.write(_frame(seq, payload))
+            self._handle.flush()
+            self._next_seq += 1
+            self.appends += 1
+            if self._fsync == "always":
+                self._do_sync(self.appends)
         return seq
 
     def _do_sync(self, covered: int) -> None:
@@ -249,29 +332,33 @@ class WriteAheadLog:
         torn = 0
         next_seq = 0
         intact_bytes = 0
-        if self._path.exists():
-            with open(self._path, "rb") as handle:
-                lines = handle.read().split(b"\n")
-            # A trailing newline yields one empty final chunk; a torn
-            # final line yields a non-empty chunk that fails to parse.
-            if lines and lines[-1] == b"":
-                lines.pop()
-            for line in lines:
-                parsed = _unframe(line)
-                if parsed is None:
-                    torn = 1 + sum(1 for _ in lines[len(records) + 1:])
-                    break
-                seq, payload = parsed
-                records.append(payload)
-                next_seq = seq + 1
-                intact_bytes += len(line) + 1
-            if torn:
-                self.close()
-                with open(self._path, "rb+") as handle:
-                    handle.truncate(intact_bytes)
-                    handle.flush()
-                    os.fsync(handle.fileno())
-        self._next_seq = next_seq
+        with self._guard():
+            if self._path.exists():
+                with open(self._path, "rb") as handle:
+                    lines = handle.read().split(b"\n")
+                # A trailing newline yields one empty final chunk; a
+                # torn final line yields a non-empty chunk that fails
+                # to parse.
+                if lines and lines[-1] == b"":
+                    lines.pop()
+                for line in lines:
+                    parsed = _unframe(line)
+                    if parsed is None:
+                        torn = 1 + sum(
+                            1 for _ in lines[len(records) + 1:]
+                        )
+                        break
+                    seq, payload = parsed
+                    records.append(payload)
+                    next_seq = seq + 1
+                    intact_bytes += len(line) + 1
+                if torn:
+                    self.close()
+                    with open(self._path, "rb+") as handle:
+                        handle.truncate(intact_bytes)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+            self._next_seq = next_seq
         return ReplayResult(records, torn, next_seq)
 
     def rewrite(self, payloads: Iterable[Dict[str, Any]]) -> int:
@@ -282,19 +369,22 @@ class WriteAheadLog:
         the old log or the new one, never a mix.  Returns the number
         of records written.
         """
-        self.close()
-        self._path.parent.mkdir(parents=True, exist_ok=True)
-        temp = self._path.with_suffix(self._path.suffix + ".compact")
-        count = 0
-        with open(temp, "wb") as handle:
-            for seq, payload in enumerate(payloads):
-                handle.write(_frame(seq, payload))
-                count += 1
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, self._path)
-        fsync_directory(self._path.parent)
-        self._next_seq = count
+        with self._guard():
+            self.close()
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            temp = self._path.with_suffix(
+                self._path.suffix + ".compact"
+            )
+            count = 0
+            with open(temp, "wb") as handle:
+                for seq, payload in enumerate(payloads):
+                    handle.write(_frame(seq, payload))
+                    count += 1
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, self._path)
+            fsync_directory(self._path.parent)
+            self._next_seq = count
         return count
 
     def size_bytes(self) -> int:

@@ -215,6 +215,40 @@ def test_thread_fallback_when_shared_memory_unavailable(monkeypatch):
     assert backend._pool is None  # no workers were ever started
 
 
+def test_fallback_when_the_os_denies_shared_memory(monkeypatch):
+    """Simulate a /dev/shm-less container at the OS boundary.
+
+    Unlike the test above (which stubs the probe function), this
+    patches ``SharedMemory`` itself to fail the way a container
+    without a shm mount does — ``OSError(ENOSYS)`` — so the *real*
+    ``shared_memory_available()`` probe runs, reports honestly, and
+    the processes-mode backend still answers correctly via the thread
+    fallback.  This is the regression contract that keeps the whole
+    suite green on hosts without shared memory.
+    """
+    import errno
+    from multiprocessing import shared_memory
+
+    def denied(*args, **kwargs):
+        raise OSError(errno.ENOSYS, "shared memory unavailable")
+
+    monkeypatch.setattr(shared_memory, "SharedMemory", denied)
+    assert shm.shared_memory_available() is False
+    database = random_database(9)
+    backend = ShardedBackend(
+        database, shard_size=13, mode="processes"
+    )
+    reference = BitmapBackend(database)
+    np.testing.assert_array_equal(
+        backend.item_supports(), reference.item_supports()
+    )
+    np.testing.assert_array_equal(
+        backend.bin_counts([1, 4]), reference.bin_counts([1, 4])
+    )
+    assert backend.effective_mode == "threads"
+    assert backend._pool is None  # no workers were ever started
+
+
 @requires_shm
 def test_close_tears_down_and_falls_back_to_threads():
     database = random_database(7)

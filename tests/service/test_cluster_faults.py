@@ -1,0 +1,332 @@
+"""Fault-injection tests for the multi-process cluster.
+
+Workers are killed with ``SIGKILL`` mid-traffic — no cleanup, the
+honest crash — and every scenario checks the three cluster contracts:
+
+* **The ledger invariant.**  Cluster-wide journaled spent ε
+  (:func:`repro.store.read_spent_totals`) is always ≥ the ε of the
+  releases clients actually received.  A crash may forfeit budget
+  (a journaled debit whose answer never left), never mint it.
+* **Clean failure, never a hang.**  Every request completes within the
+  scenario timeout with either a 2xx or a typed
+  :class:`~repro.errors.WorkerUnavailableError` (the router's 503) —
+  assertions are timing-tolerant because where the kill lands relative
+  to each in-flight request is genuinely racy.
+* **Recovery.**  The supervisor restarts dead workers as fresh
+  processes that recover from the shared store; post-fault traffic
+  serves normally and acked ingest batches survive.
+
+These tests spawn real worker processes, so they are tier-1 but
+marked ``slow``; the heavier churn scenario is ``soak`` (nightly,
+``pytest -m soak``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.datasets.synthetic import QUEST_LOADER_SPEC
+from repro.errors import WorkerUnavailableError
+from repro.service import ClusterConfig, PrivBasisCluster, ServiceClient
+from repro.store import read_spent_totals
+
+#: Outer bound on one whole scenario — the "never hangs" assertion.
+SCENARIO_TIMEOUT = 120.0
+
+#: How long recovery may take before we call it a failure.
+RECOVERY_TIMEOUT = 30.0
+
+
+def make_config(state_dir, tenants, num_workers=2, max_inflight=8):
+    """A cluster config over the spawn-importable Quest loader."""
+    return ClusterConfig(
+        tenants=tenants,
+        state_dir=str(state_dir),
+        num_workers=num_workers,
+        loader_spec=QUEST_LOADER_SPEC,
+        max_inflight=max_inflight,
+    )
+
+
+def run_scenario(coroutine):
+    """Run one async scenario under the global hang bound."""
+    return asyncio.run(asyncio.wait_for(coroutine, SCENARIO_TIMEOUT))
+
+
+async def wait_for_recovery(cluster, num_workers):
+    """Block until every worker slot is back in routing."""
+    deadline = asyncio.get_running_loop().time() + RECOVERY_TIMEOUT
+    while cluster.router.healthy_count() < num_workers:
+        assert asyncio.get_running_loop().time() < deadline, (
+            f"cluster did not recover to {num_workers} workers within "
+            f"{RECOVERY_TIMEOUT:g}s"
+        )
+        await asyncio.sleep(0.25)
+
+
+@pytest.mark.slow
+class TestKillMidRelease:
+    def test_invariant_holds_and_errors_are_typed(self, tmp_path):
+        tenants = {
+            "t-rel": {"dataset": "faults/release", "epsilon_limit": 1e6}
+        }
+        config = make_config(tmp_path / "state", tenants)
+        cluster = PrivBasisCluster(config)
+        epsilon = 0.25
+
+        async def scenario():
+            async with cluster.serving() as (host, port):
+                owner = cluster.router.owner_for("faults/release")
+                assert owner is not None
+
+                async def one_release(index):
+                    async with ServiceClient(
+                        host, port, tenant="t-rel"
+                    ) as client:
+                        try:
+                            out = await client.release(
+                                k=4, epsilon=epsilon
+                            )
+                            return ("ok", out)
+                        except WorkerUnavailableError:
+                            return ("unavailable", None)
+
+                tasks = [
+                    asyncio.create_task(one_release(index))
+                    for index in range(8)
+                ]
+                await asyncio.sleep(0.05)
+                cluster.kill_worker(owner.index)
+                outcomes = await asyncio.gather(*tasks)
+
+                acked = sum(
+                    epsilon for tag, _ in outcomes if tag == "ok"
+                )
+                # Invariant immediately after the fault, read straight
+                # from the shared journal files.
+                totals = read_spent_totals(config.state_dir)
+                assert totals.get("t-rel", 0.0) >= acked - 1e-9
+
+                await wait_for_recovery(cluster, config.num_workers)
+                async with ServiceClient(
+                    host, port, tenant="t-rel"
+                ) as client:
+                    out = await client.release(k=4, epsilon=epsilon)
+                    acked += epsilon
+                    budget = await client.budget()
+                    assert (
+                        budget["ledger"]["spent"] >= acked - 1e-9
+                    )
+                return outcomes, acked
+
+        outcomes, acked = run_scenario(scenario())
+        # Every request resolved to a success or the typed 503 —
+        # nothing hung, nothing surfaced as a raw socket error.
+        assert {tag for tag, _ in outcomes} <= {"ok", "unavailable"}
+        # Final invariant with the cluster stopped.
+        totals = read_spent_totals(str(tmp_path / "state"))
+        assert totals.get("t-rel", 0.0) >= acked - 1e-9
+
+    def test_get_fails_over_to_survivor(self, tmp_path):
+        tenants = {
+            "t-get": {"dataset": "faults/get", "epsilon_limit": 1e6}
+        }
+        config = make_config(tmp_path / "state", tenants)
+        cluster = PrivBasisCluster(config)
+
+        async def scenario():
+            async with cluster.serving() as (host, port):
+                async with ServiceClient(
+                    host, port, tenant="t-get"
+                ) as client:
+                    await client.release(k=4, epsilon=0.5)
+                    owner = cluster.router.owner_for("faults/get")
+                    cluster.kill_worker(owner.index)
+                    # The budget read must answer from a survivor (the
+                    # shared journal makes any worker authoritative)
+                    # without waiting for the restart.
+                    budget = await client.budget()
+                    assert budget["ledger"]["spent"] >= 0.5 - 1e-9
+                    health = await client.healthz()
+                    assert health["role"] == "router"
+
+        run_scenario(scenario())
+
+
+@pytest.mark.slow
+class TestKillMidIngest:
+    def test_acked_batches_survive_the_kill(self, tmp_path):
+        tenants = {
+            "t-ing": {"dataset": "faults/ingest", "epsilon_limit": 1e6}
+        }
+        config = make_config(tmp_path / "state", tenants)
+        cluster = PrivBasisCluster(config)
+
+        async def scenario():
+            async with cluster.serving() as (host, port):
+                async with ServiceClient(
+                    host, port, tenant="t-ing"
+                ) as client:
+                    first = await client.ingest([[0, 1], [2, 3]])
+                    assert first["snapshot_version"] == 1
+
+                async def one_ingest(index):
+                    async with ServiceClient(
+                        host, port, tenant="t-ing"
+                    ) as client:
+                        try:
+                            await client.ingest([[index % 8, 8]])
+                            return "ok"
+                        except WorkerUnavailableError:
+                            return "unavailable"
+
+                tasks = [
+                    asyncio.create_task(one_ingest(index))
+                    for index in range(6)
+                ]
+                await asyncio.sleep(0.02)
+                owner = cluster.router.owner_for("faults/ingest")
+                cluster.kill_worker(owner.index)
+                outcomes = await asyncio.gather(*tasks)
+                assert set(outcomes) <= {"ok", "unavailable"}
+                acked = 1 + outcomes.count("ok")
+                attempts = 1 + len(outcomes)
+
+                await wait_for_recovery(cluster, config.num_workers)
+                async with ServiceClient(
+                    host, port, tenant="t-ing"
+                ) as client:
+                    snapshot = await client.snapshot()
+                    # Every acknowledged batch was journal-before-apply
+                    # + fsync, so recovery must replay at least those;
+                    # a killed-before-ack batch may legitimately also
+                    # have landed (journaled, never answered).
+                    assert (
+                        acked
+                        <= snapshot["snapshot_version"]
+                        <= attempts
+                    )
+                    # The recovered log keeps extending linearly.
+                    after = await client.ingest([[4, 5]])
+                    assert (
+                        after["snapshot_version"]
+                        == snapshot["snapshot_version"] + 1
+                    )
+
+        run_scenario(scenario())
+
+
+@pytest.mark.slow
+class TestClusterColdStart:
+    def test_one_build_many_clients_distinct_noise(self, tmp_path):
+        clients = 6
+        tenants = {
+            "t-co": {"dataset": "faults/coalesce", "epsilon_limit": 1e6}
+        }
+        config = make_config(
+            tmp_path / "state", tenants, num_workers=3
+        )
+        cluster = PrivBasisCluster(config)
+
+        async def scenario():
+            async with cluster.serving() as (host, port):
+
+                async def one_release(index):
+                    async with ServiceClient(
+                        host, port, tenant="t-co"
+                    ) as client:
+                        return await client.release(k=6, epsilon=0.5)
+
+                outs = await asyncio.gather(
+                    *(one_release(index) for index in range(clients))
+                )
+                async with ServiceClient(host, port) as client:
+                    metrics = await client.metrics()
+                return outs, metrics
+
+        outs, metrics = run_scenario(scenario())
+        # Dataset affinity + the owner's coalescer: the cold dataset
+        # was built exactly once across the whole cluster.
+        started = sum(
+            worker["coalescer"]["started"]
+            for worker in metrics["workers"].values()
+            if "coalescer" in worker
+        )
+        assert started == 1
+        # Every client paid its own ε and got its own noise: the
+        # payloads are pairwise distinct even for identical requests.
+        payloads = [
+            json.dumps(out["itemsets"], sort_keys=True) for out in outs
+        ]
+        assert len(set(payloads)) == len(payloads)
+        totals = read_spent_totals(str(tmp_path / "state"))
+        assert totals.get("t-co", 0.0) >= clients * 0.5 - 1e-9
+
+
+@pytest.mark.soak
+class TestClusterChurnSoak:
+    """Nightly-tier churn: sustained mixed traffic under repeated
+    kills, with the ledger invariant checked after every fault."""
+
+    def test_sustained_churn_keeps_the_invariant(self, tmp_path):
+        tenant_ids = [f"soak-{index}" for index in range(4)]
+        tenants = {
+            tenant: {
+                "dataset": f"soak/{index % 2}",
+                "epsilon_limit": 1e6,
+            }
+            for index, tenant in enumerate(tenant_ids)
+        }
+        config = make_config(
+            tmp_path / "state", tenants, num_workers=3, max_inflight=32
+        )
+        cluster = PrivBasisCluster(config)
+        epsilon = 0.05
+
+        async def scenario():
+            acked = {tenant: 0.0 for tenant in tenant_ids}
+            async with cluster.serving() as (host, port):
+                for round_index in range(4):
+                    async def one(tenant, index):
+                        async with ServiceClient(
+                            host, port, tenant=tenant
+                        ) as client:
+                            try:
+                                if index % 5 == 0:
+                                    await client.ingest([[index % 9]])
+                                    return (tenant, 0.0)
+                                await client.release(
+                                    k=3, epsilon=epsilon
+                                )
+                                return (tenant, epsilon)
+                            except WorkerUnavailableError:
+                                return (tenant, 0.0)
+
+                    tasks = [
+                        asyncio.create_task(
+                            one(tenant_ids[index % 4], index)
+                        )
+                        for index in range(24)
+                    ]
+                    await asyncio.sleep(0.05)
+                    cluster.kill_worker(round_index % 3)
+                    for tenant, spent in await asyncio.gather(*tasks):
+                        acked[tenant] += spent
+                    totals = read_spent_totals(config.state_dir)
+                    for tenant in tenant_ids:
+                        assert (
+                            totals.get(tenant, 0.0)
+                            >= acked[tenant] - 1e-9
+                        ), f"round {round_index}: {tenant} under-counted"
+                    await wait_for_recovery(
+                        cluster, config.num_workers
+                    )
+            return acked
+
+        acked = run_scenario(scenario())
+        totals = read_spent_totals(str(tmp_path / "state"))
+        for tenant, spent in acked.items():
+            assert totals.get(tenant, 0.0) >= spent - 1e-9
