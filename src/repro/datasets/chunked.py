@@ -1,0 +1,483 @@
+"""Streaming chunked loaders: fixed-size transaction chunks from disk.
+
+Everything else in :mod:`repro.datasets` materializes the whole
+transaction log before handing it to an engine backend.  That is fine
+for mushroom-sized data and fatal for kosarak/AOL-sized data, so this
+module reads transaction files **chunk by chunk** — a bounded number
+of rows in memory at any moment — in three formats:
+
+``fimi``
+    The FIMI ``.dat`` text format (one transaction per line, items as
+    whitespace-separated integers), optionally gzip-compressed
+    (``.dat.gz``).  Blank lines are skipped, matching
+    :func:`repro.datasets.fimi.read_fimi`.
+``csv``
+    One transaction per line, items as comma-separated integers.
+    Blank interior lines are format errors.
+``ndjson``
+    One JSON value per line: either an array of item ids or an object
+    with an ``"items"`` array.
+
+Chunked loaders feed the zero-copy
+:meth:`~repro.datasets.transactions.TransactionDatabase
+.from_sorted_rows` trusted path (and the mmap spill store behind it),
+which performs **no full validation** — so this module is strict where
+:func:`~repro.datasets.fimi.read_fimi` is forgiving.  Every row must
+be strictly increasing (sorted, duplicate-free); duplicate items,
+non-monotone ids, negative or non-integer tokens raise
+:class:`~repro.errors.DatasetFormatError` with the source and line,
+and a stream that ends mid-record (no final newline, or a gzip member
+cut short) raises :class:`~repro.errors.DatasetTruncatedError` instead
+of silently keeping the prefix that happened to parse.
+
+The module also generates the synthetic benchmark **size tiers**
+(`tiny`/`small`/`large`) to disk on demand — a vectorized sampler
+writes gzip-FIMI files chunk-by-chunk, so even the large tier never
+materializes in memory during generation.  The registry names them
+``tier-tiny`` etc.; see :mod:`repro.datasets.registry`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.datasets.fimi import parse_item_token
+from repro.datasets.transactions import TransactionDatabase
+from repro.errors import (
+    DatasetFormatError,
+    DatasetTruncatedError,
+    ValidationError,
+)
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "TransactionChunk",
+    "detect_format",
+    "iter_transaction_chunks",
+    "load_chunked",
+    "synthesize_tier_chunks",
+    "write_tier_file",
+]
+
+#: Rows per chunk when the caller does not choose.  Matches the
+#: engine's default shard granularity so a chunked load spills one
+#: segment per chunk without re-slicing.
+DEFAULT_CHUNK_SIZE = 65_536
+
+_FORMATS = ("fimi", "csv", "ndjson")
+
+#: Suffix → format for :func:`detect_format` (``.gz`` is stripped
+#: first).
+_SUFFIX_FORMATS = {
+    ".dat": "fimi",
+    ".fimi": "fimi",
+    ".txt": "fimi",
+    ".csv": "csv",
+    ".ndjson": "ndjson",
+    ".jsonl": "ndjson",
+}
+
+
+@dataclass(frozen=True)
+class TransactionChunk:
+    """A fixed-size window of validated transactions.
+
+    Attributes
+    ----------
+    start:
+        Global row offset of the first transaction in this chunk.
+    rows:
+        Sorted, duplicate-free ``int64`` arrays — safe for
+        :meth:`~repro.datasets.transactions.TransactionDatabase
+        .from_sorted_rows` and the mmap spill store.
+    max_item:
+        Largest item id seen in this chunk (``-1`` if all rows are
+        empty — which strict validation forbids anyway).
+    """
+
+    start: int
+    rows: Tuple[np.ndarray, ...]
+    max_item: int
+
+    @property
+    def num_rows(self) -> int:
+        """Transactions in this chunk."""
+        return len(self.rows)
+
+    @property
+    def total_size(self) -> int:
+        """Sum of transaction lengths in this chunk."""
+        return int(sum(row.size for row in self.rows))
+
+    def database(self, num_items: int) -> TransactionDatabase:
+        """This chunk as a standalone database over ``num_items``."""
+        return TransactionDatabase.from_sorted_rows(
+            self.rows, num_items=num_items
+        )
+
+
+def detect_format(path: PathLike) -> str:
+    """Infer the loader format from a file name.
+
+    ``.gz`` is transparent (the suffix underneath decides); unknown
+    suffixes default to ``fimi``, the repository's native format.
+    """
+    name = Path(path).name.lower()
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    return _SUFFIX_FORMATS.get(Path(name).suffix, "fimi")
+
+
+def iter_transaction_chunks(
+    source: Union[PathLike, TextIO],
+    *,
+    format: Optional[str] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    num_items: Optional[int] = None,
+) -> Iterator[TransactionChunk]:
+    """Stream ``source`` as validated fixed-size transaction chunks.
+
+    Parameters
+    ----------
+    source:
+        Path to a data file (gzip detected by ``.gz`` suffix) or an
+        open text stream.
+    format:
+        ``"fimi"`` | ``"csv"`` | ``"ndjson"``; inferred from the file
+        name when omitted (streams default to ``fimi``).
+    chunk_size:
+        Rows per yielded chunk (the final chunk may be smaller).
+    num_items:
+        Optional vocabulary bound: any item id ``>= num_items`` is a
+        :class:`~repro.errors.DatasetFormatError`.
+
+    Raises
+    ------
+    DatasetFormatError
+        Malformed tokens, duplicate items in a row, non-monotone item
+        ids, blank csv/ndjson lines, out-of-range ids.
+    DatasetTruncatedError
+        The stream ends mid-record: missing final newline, or a gzip
+        member cut short.
+    """
+    if chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if format is None:
+        format = (
+            detect_format(source)
+            if isinstance(source, (str, Path))
+            else "fimi"
+        )
+    if format not in _FORMATS:
+        raise ValidationError(
+            f"unknown chunk format {format!r}; expected one of {_FORMATS}"
+        )
+    if isinstance(source, (str, Path)):
+        label = str(source)
+        path = Path(source)
+        if not path.exists():
+            raise DatasetFormatError(f"no such dataset file: {label}",
+                                     source=label)
+        if path.name.lower().endswith(".gz"):
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                yield from _chunk_stream(
+                    handle, label, format, chunk_size, num_items,
+                    gzipped=True,
+                )
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            yield from _chunk_stream(
+                handle, label, format, chunk_size, num_items,
+            )
+        return
+    label = getattr(source, "name", "<stream>")
+    yield from _chunk_stream(source, str(label), format, chunk_size,
+                             num_items)
+
+
+def load_chunked(
+    source: Union[PathLike, TextIO],
+    *,
+    format: Optional[str] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    num_items: Optional[int] = None,
+) -> TransactionDatabase:
+    """Materialize a chunk-validated file as one in-memory database.
+
+    The convenience path for callers on the ``memory`` data plane who
+    still want the strict chunked validation (and gzip/csv/ndjson
+    support).  Memory use is the full dataset — use
+    :func:`iter_transaction_chunks` plus the mmap spill store to stay
+    out of core.
+    """
+    rows: List[np.ndarray] = []
+    max_item = -1
+    for chunk in iter_transaction_chunks(
+        source, format=format, chunk_size=chunk_size, num_items=num_items
+    ):
+        rows.extend(chunk.rows)
+        max_item = max(max_item, chunk.max_item)
+    vocabulary = num_items if num_items is not None else max_item + 1
+    return TransactionDatabase.from_sorted_rows(
+        rows, num_items=max(vocabulary, 1)
+    )
+
+
+# ----------------------------------------------------------------------
+# Line parsing (strict)
+# ----------------------------------------------------------------------
+def _validated_row(
+    items: Sequence[int], line_number: int, source: str
+) -> np.ndarray:
+    row = np.asarray(items, dtype=np.int64)
+    if row.size == 0:
+        raise DatasetFormatError(
+            f"line {line_number}: empty transaction",
+            source=source, line=line_number,
+        )
+    if row.size > 1:
+        steps = np.diff(row)
+        if np.any(steps == 0):
+            position = int(np.argmax(steps == 0))
+            raise DatasetFormatError(
+                f"line {line_number}: duplicate item "
+                f"{int(row[position])} in transaction",
+                source=source, line=line_number,
+            )
+        if np.any(steps < 0):
+            position = int(np.argmax(steps < 0))
+            raise DatasetFormatError(
+                f"line {line_number}: non-monotone item ids "
+                f"({int(row[position])} then {int(row[position + 1])}); "
+                f"chunked loaders require sorted transactions",
+                source=source, line=line_number,
+            )
+    return row
+
+
+def _parse_fimi_line(line: str, line_number: int,
+                     source: str) -> Optional[np.ndarray]:
+    stripped = line.strip()
+    if not stripped:
+        return None  # blank-line skip, matching read_fimi
+    items = [
+        parse_item_token(token, line_number, source=source)
+        for token in stripped.split()
+    ]
+    return _validated_row(items, line_number, source)
+
+
+def _parse_csv_line(line: str, line_number: int,
+                    source: str) -> Optional[np.ndarray]:
+    stripped = line.strip()
+    if not stripped:
+        raise DatasetFormatError(
+            f"line {line_number}: blank line in csv transaction file",
+            source=source, line=line_number,
+        )
+    items = [
+        parse_item_token(token.strip(), line_number, source=source)
+        for token in stripped.split(",")
+    ]
+    return _validated_row(items, line_number, source)
+
+
+def _parse_ndjson_line(line: str, line_number: int,
+                       source: str) -> Optional[np.ndarray]:
+    stripped = line.strip()
+    if not stripped:
+        raise DatasetFormatError(
+            f"line {line_number}: blank line in ndjson transaction file",
+            source=source, line=line_number,
+        )
+    try:
+        value = json.loads(stripped)
+    except json.JSONDecodeError as exc:
+        raise DatasetFormatError(
+            f"line {line_number}: invalid JSON record: {exc.msg}",
+            source=source, line=line_number,
+        ) from exc
+    if isinstance(value, dict):
+        value = value.get("items")
+    if not isinstance(value, list):
+        raise DatasetFormatError(
+            f"line {line_number}: ndjson record must be an array of "
+            f"item ids or an object with an 'items' array",
+            source=source, line=line_number,
+        )
+    items: List[int] = []
+    for entry in value:
+        # bool is an int subclass; JSON true/false are not item ids.
+        if not isinstance(entry, int) or isinstance(entry, bool):
+            raise DatasetFormatError(
+                f"line {line_number}: non-integer item {entry!r}",
+                source=source, line=line_number,
+            )
+        if entry < 0:
+            raise DatasetFormatError(
+                f"line {line_number}: negative item id {entry}",
+                source=source, line=line_number,
+            )
+        items.append(entry)
+    return _validated_row(items, line_number, source)
+
+
+_PARSERS = {
+    "fimi": _parse_fimi_line,
+    "csv": _parse_csv_line,
+    "ndjson": _parse_ndjson_line,
+}
+
+
+def _chunk_stream(
+    handle: TextIO,
+    source: str,
+    format: str,
+    chunk_size: int,
+    num_items: Optional[int],
+    gzipped: bool = False,
+) -> Iterator[TransactionChunk]:
+    parse = _PARSERS[format]
+    pending: List[np.ndarray] = []
+    start = 0
+    max_item = -1
+    line_number = 0
+    line = ""
+    lines = iter(handle)
+    while True:
+        try:
+            line = next(lines)
+        except StopIteration:
+            break
+        except EOFError as exc:
+            # gzip's "compressed file ended before the end-of-stream
+            # marker" — the member was cut mid-stream.
+            raise DatasetTruncatedError(
+                f"gzip stream ended mid-member after line {line_number}",
+                source=source, line=line_number or None,
+            ) from exc
+        except (gzip.BadGzipFile, OSError) as exc:
+            if gzipped:
+                raise DatasetFormatError(
+                    f"corrupt gzip stream: {exc}", source=source,
+                ) from exc
+            raise
+        line_number += 1
+        if not line.endswith("\n"):
+            # A data line without its newline is the signature of a
+            # cut transfer: "5 1" may be the prefix of "5 12".
+            # Refuse the ambiguity rather than mis-count.
+            raise DatasetTruncatedError(
+                f"line {line_number}: stream ends mid-record (no "
+                f"final newline) — refusing a possibly truncated "
+                f"transaction",
+                source=source, line=line_number,
+            )
+        row = parse(line, line_number, source)
+        if row is None:
+            continue
+        if num_items is not None and int(row[-1]) >= num_items:
+            raise DatasetFormatError(
+                f"line {line_number}: item id {int(row[-1])} out of "
+                f"range for num_items={num_items}",
+                source=source, line=line_number,
+            )
+        max_item = max(max_item, int(row[-1]))
+        pending.append(row)
+        if len(pending) >= chunk_size:
+            yield TransactionChunk(start, tuple(pending), max_item)
+            start += len(pending)
+            pending = []
+            max_item = -1
+    if pending:
+        yield TransactionChunk(start, tuple(pending), max_item)
+
+
+# ----------------------------------------------------------------------
+# Synthetic size tiers
+# ----------------------------------------------------------------------
+def synthesize_tier_chunks(
+    num_transactions: int,
+    num_items: int,
+    avg_items: float,
+    seed: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[TransactionChunk]:
+    """Vectorized synthetic transaction stream for the size tiers.
+
+    Row lengths are Poisson around ``avg_items`` (at least 1, at most
+    ``num_items``); item draws follow a power-law so low ids are
+    frequent — the skew PrivBasis needs for interesting top-k
+    structure.  Deterministic in ``seed``; memory is bounded by one
+    chunk.  (The Quest generator in :mod:`repro.datasets.synthetic`
+    is pattern-faithful but Python-loop slow — at large-tier scale it
+    would dominate the benchmark it feeds.)
+    """
+    if num_transactions < 1:
+        raise ValidationError(
+            f"num_transactions must be >= 1, got {num_transactions}"
+        )
+    if num_items < 2:
+        raise ValidationError(f"num_items must be >= 2, got {num_items}")
+    rng = np.random.default_rng(seed)
+    start = 0
+    while start < num_transactions:
+        count = min(chunk_size, num_transactions - start)
+        lengths = rng.poisson(max(avg_items - 1.0, 0.0), count) + 1
+        lengths = np.minimum(lengths, num_items)
+        draws = (num_items * rng.random(int(lengths.sum())) ** 2.5)
+        draws = draws.astype(np.int64)
+        boundaries = np.cumsum(lengths)[:-1]
+        rows = tuple(
+            np.unique(part) for part in np.split(draws, boundaries)
+        )
+        max_item = int(max(int(row[-1]) for row in rows))
+        yield TransactionChunk(start, rows, max_item)
+        start += count
+
+
+def write_tier_file(
+    path: PathLike,
+    chunks: Iterable[TransactionChunk],
+) -> int:
+    """Write ``chunks`` as a gzip-FIMI file, atomically; returns rows.
+
+    The file appears under ``path`` only once fully written (tmp +
+    rename), so a crash mid-generation never leaves a truncated tier
+    for the next run to trip over.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp_path = path.with_name(path.name + ".tmp")
+    rows_written = 0
+    try:
+        with gzip.open(temp_path, "wt", encoding="utf-8") as handle:
+            for chunk in chunks:
+                buffer = io.StringIO()
+                for row in chunk.rows:
+                    buffer.write(" ".join(str(int(i)) for i in row))
+                    buffer.write("\n")
+                handle.write(buffer.getvalue())
+                rows_written += chunk.num_rows
+        temp_path.replace(path)
+    finally:
+        temp_path.unlink(missing_ok=True)
+    return rows_written

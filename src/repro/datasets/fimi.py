@@ -19,6 +19,34 @@ from repro.errors import DatasetFormatError
 PathLike = Union[str, Path]
 
 
+def parse_item_token(
+    token: str,
+    line_number: int,
+    source: Optional[str] = None,
+) -> int:
+    """Strictly parse one FIMI item token to a non-negative int.
+
+    Python's ``int()`` is looser than the FIMI grammar: it accepts
+    underscore separators (``"1_0"`` → 10), a leading ``"+"``, and
+    non-ASCII digits — all of which would *silently change counts* if
+    a corrupted file slipped through.  Only plain ASCII digit runs
+    are items; everything else is a typed error naming the line.
+    """
+    if token.isascii() and token.isdigit():
+        return int(token)
+    if token.startswith("-") and token[1:].isascii() and token[1:].isdigit():
+        raise DatasetFormatError(
+            f"line {line_number}: negative item id {token}",
+            source=source,
+            line=line_number,
+        )
+    raise DatasetFormatError(
+        f"line {line_number}: non-integer item {token!r}",
+        source=source,
+        line=line_number,
+    )
+
+
 def read_fimi(
     source: Union[PathLike, TextIO],
     num_items: Optional[int] = None,
@@ -51,19 +79,10 @@ def _parse_stream(
         stripped = line.strip()
         if not stripped:
             continue
-        row: List[int] = []
-        for token in stripped.split():
-            try:
-                item = int(token)
-            except ValueError as exc:
-                raise DatasetFormatError(
-                    f"line {line_number}: non-integer item {token!r}"
-                ) from exc
-            if item < 0:
-                raise DatasetFormatError(
-                    f"line {line_number}: negative item id {item}"
-                )
-            row.append(item)
+        row = [
+            parse_item_token(token, line_number)
+            for token in stripped.split()
+        ]
         transactions.append(row)
     return TransactionDatabase(transactions, num_items=num_items)
 

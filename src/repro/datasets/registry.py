@@ -17,8 +17,11 @@ moves, which EXPERIMENTS.md accounts for.
 from __future__ import annotations
 
 import os
+import tempfile
 import weakref
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.datasets.generators import (
     aol_like,
@@ -57,9 +60,139 @@ _TOPK_CACHE: Dict[
 _TOPK_CACHE_LIMIT = 256
 
 
+@dataclass(frozen=True)
+class TierSpec:
+    """One disk-backed synthetic size tier (``tier-tiny`` …).
+
+    Tiers exist to exercise the out-of-core data plane at controlled
+    scales: each is generated **to disk** (gzip FIMI, atomic write) on
+    first use by the vectorized sampler in
+    :mod:`repro.datasets.chunked`, then always loaded back through the
+    chunked reader — the load path is the same streaming code the
+    benchmarks measure, not a shortcut.
+    """
+
+    name: str
+    num_transactions: int
+    num_items: int
+    avg_items: float
+    seed: int
+
+    def chunks(self, chunk_size: Optional[int] = None):
+        """The tier's deterministic synthetic chunk stream."""
+        from repro.datasets.chunked import (
+            DEFAULT_CHUNK_SIZE,
+            synthesize_tier_chunks,
+        )
+
+        return synthesize_tier_chunks(
+            self.num_transactions,
+            self.num_items,
+            self.avg_items,
+            self.seed,
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+        )
+
+
+#: The out-of-core benchmark tiers, smallest to largest.  ``large`` is
+#: sized so its CSR representation (~40 MB of int64 payload) dwarfs
+#: the default bench memory budget but generates in seconds.
+TIERS: Dict[str, TierSpec] = {
+    "tier-tiny": TierSpec("tier-tiny", 2_000, 200, 8.0, 11),
+    "tier-small": TierSpec("tier-small", 60_000, 1_000, 10.0, 12),
+    "tier-large": TierSpec("tier-large", 400_000, 4_000, 12.0, 13),
+}
+
+
 def dataset_names() -> List[str]:
     """The five paper dataset names, in Table 2(a) order."""
     return ["retail", "mushroom", "pumsb_star", "kosarak", "aol"]
+
+
+def tier_names() -> List[str]:
+    """The disk-backed size-tier names, smallest first."""
+    return list(TIERS)
+
+
+def registered_names() -> List[str]:
+    """Every name :func:`load_dataset` resolves (datasets + tiers)."""
+    return dataset_names() + tier_names()
+
+
+def tier_data_dir() -> Path:
+    """Where generated tier files live.
+
+    ``REPRO_TIER_DIR`` overrides; the default is a stable path under
+    the system temp dir so repeated runs (and cluster workers on one
+    host) share one copy per tier.
+    """
+    override = os.environ.get("REPRO_TIER_DIR", "").strip()
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-tiers"
+
+
+def ensure_tier_file(
+    name: str, data_dir: Optional[Path] = None
+) -> Path:
+    """Generate tier ``name`` to disk if missing; return its path.
+
+    Generation streams chunk-by-chunk through an atomic tmp+rename
+    write, so a crash mid-generation cannot leave a truncated file
+    that a later run would load.
+    """
+    key = name.strip().lower().replace("_", "-")
+    if key not in TIERS:
+        raise ValidationError(
+            f"unknown tier {name!r}; available: {tier_names()}"
+        )
+    spec = TIERS[key]
+    directory = Path(data_dir) if data_dir is not None else tier_data_dir()
+    path = directory / f"{spec.name}-seed{spec.seed}.dat.gz"
+    if not path.exists():
+        from repro.datasets.chunked import write_tier_file
+
+        write_tier_file(path, spec.chunks())
+    return path
+
+
+def dataset_chunks(
+    name: str,
+    chunk_size: Optional[int] = None,
+    seed: int = 2012,
+) -> Tuple[int, Iterator["object"]]:
+    """``(num_items, chunk iterator)`` for any registered name.
+
+    Tier names stream straight from their on-disk gzip-FIMI file
+    (bounded memory); classic dataset names materialize through
+    :func:`load_dataset` first and are then re-sliced — they predate
+    the out-of-core plane and fit in RAM by construction.
+    """
+    from repro.datasets.chunked import (
+        DEFAULT_CHUNK_SIZE,
+        TransactionChunk,
+        iter_transaction_chunks,
+    )
+
+    size = chunk_size or DEFAULT_CHUNK_SIZE
+    key = name.strip().lower().replace("_", "-")
+    if key in TIERS:
+        spec = TIERS[key]
+        path = ensure_tier_file(key)
+        return spec.num_items, iter_transaction_chunks(
+            path, chunk_size=size, num_items=spec.num_items
+        )
+    database = load_dataset(name, seed=seed)
+
+    def _slices() -> Iterator[TransactionChunk]:
+        for start in range(0, database.num_transactions, size):
+            window = database.rows[start:start + size]
+            max_item = max(
+                (int(row[-1]) for row in window if row.size), default=-1
+            )
+            yield TransactionChunk(start, tuple(window), max_item)
+
+    return database.num_items, _slices()
 
 
 def full_scale_enabled() -> bool:
@@ -90,10 +223,26 @@ def load_dataset(
     full_scale:
         Force paper-exact sizes; defaults to the environment flag.
     """
+    tier_key = name.strip().lower().replace("_", "-")
+    if tier_key in TIERS:
+        # Tiers ignore the scale policy: their whole point is a fixed,
+        # named size.  The load still goes through the strict chunked
+        # reader so the memory and mmap planes parse identical bytes.
+        spec = TIERS[tier_key]
+        cache_key = (tier_key, 1.0, spec.seed)
+        cached = _DATABASE_CACHE.get(cache_key)
+        if cached is None:
+            from repro.datasets.chunked import load_chunked
+
+            cached = load_chunked(
+                ensure_tier_file(tier_key), num_items=spec.num_items
+            )
+            _DATABASE_CACHE[cache_key] = cached
+        return cached
     key = name.strip().lower().replace("-", "_")
     if key not in _GENERATORS:
         raise ValidationError(
-            f"unknown dataset {name!r}; available: {dataset_names()}"
+            f"unknown dataset {name!r}; available: {registered_names()}"
         )
     generator, quick_scale = _GENERATORS[key]
     if scale is None:

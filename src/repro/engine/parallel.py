@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.datasets.transactions import TransactionDatabase
+from repro.engine.mmap import FileSegmentSpec, attach_file_segment
 from repro.engine.shm import ShardSegmentSpec, attach_segment
 from repro.errors import ValidationError, WorkerPoolError
 from repro.fim.counting import ItemBitmaps, bin_counts_for_items
@@ -126,16 +127,30 @@ _ATTACHED: Dict[str, Tuple[object, TransactionDatabase]] = {}
 _ATTACHED_LIMIT = 128
 
 
-def _attached_database(spec: ShardSegmentSpec) -> TransactionDatabase:
+def _attached_database(spec) -> TransactionDatabase:
+    """Attach (or reuse) a segment by spec — shared-memory or file.
+
+    :class:`~repro.engine.mmap.FileSegmentSpec` attaches through
+    ``np.memmap`` (the out-of-core plane; no ``/dev/shm`` involved);
+    :class:`~repro.engine.shm.ShardSegmentSpec` through POSIX shared
+    memory.  Both cache per unique segment name, and names are never
+    reused across contents (fresh shm names / generation-stamped file
+    names), so a cache hit is always current data.
+    """
     entry = _ATTACHED.get(spec.name)
     if entry is None:
         while len(_ATTACHED) >= _ATTACHED_LIMIT:
             stale_block, _ = _ATTACHED.pop(next(iter(_ATTACHED)))
+            close = getattr(stale_block, "close", None)
             try:
-                stale_block.close()
+                if close is not None:
+                    close()  # shm blocks; memmaps just drop the ref
             except Exception:
                 pass
-        entry = attach_segment(spec)
+        if isinstance(spec, FileSegmentSpec):
+            entry = attach_file_segment(spec)
+        else:
+            entry = attach_segment(spec)
         _ATTACHED[spec.name] = entry
     return entry[1]
 

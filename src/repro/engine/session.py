@@ -283,6 +283,11 @@ class PrivBasisSession:
         pools_built = getattr(inner, "pools_built", None)
         if pools_built is not None:
             stats["pools_built"] = int(pools_built)
+        data_plane_stats = getattr(inner, "data_plane_stats", None)
+        if callable(data_plane_stats):
+            # Out-of-core (mmap) backends report residency telemetry:
+            # spilled vs resident bytes, budget, cached shard count.
+            stats["data_plane"] = data_plane_stats()
         return stats
 
     def warm_up(self) -> None:

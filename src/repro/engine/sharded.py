@@ -39,6 +39,17 @@ same per-shard kernels (:mod:`repro.engine.parallel`):
 Per-query working memory is one shard's scratch per worker instead of
 one full-database scratch, in both modes, which is what makes long
 bases feasible on large ``N``.
+
+**Out-of-core (mmap) plane.**  Instead of an in-memory database, the
+backend can be built over a :class:`~repro.engine.mmap.MmapShardStore`
+(``ShardedBackend.from_store`` or the ``store=`` kwarg): shards then
+live in memory-mapped segment files under the state dir, fetched
+through the store's budget-bounded LRU cache in thread mode, or
+attached by path in worker processes — which needs no ``/dev/shm`` at
+all.  Counts are bit-identical to the in-memory plane (same kernels,
+same additive merges, exact integers); only residency changes.  The
+full :attr:`database` is materialized lazily as mapped views and only
+if something asks for it.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -66,6 +78,9 @@ from repro.engine import parallel, shm
 from repro.engine.backend import CountingBackend
 from repro.errors import ValidationError, WorkerPoolError
 
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.engine.mmap import MmapShardStore
+
 __all__ = ["ShardedBackend", "DEFAULT_SHARD_SIZE", "EXECUTION_MODES"]
 
 #: Default transactions per shard — large enough that the per-shard
@@ -77,6 +92,23 @@ DEFAULT_SHARD_SIZE = 65_536
 EXECUTION_MODES = ("threads", "processes")
 
 _T = TypeVar("_T")
+
+
+class _FileSegment:
+    """Process-plane handle for one on-disk segment (mmap plane).
+
+    Mirrors the tiny :class:`~repro.engine.shm.ShardSegment` surface
+    (``.spec`` / ``.unlink()``) so dispatch and close stay
+    mode-agnostic.  ``unlink`` is a no-op: segment files are durable
+    store state, owned by the :class:`~repro.engine.mmap
+    .MmapShardStore`, not per-backend OS resources.
+    """
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+
+    def unlink(self) -> None:
+        return None
 
 
 class ShardedBackend(CountingBackend):
@@ -109,11 +141,12 @@ class ShardedBackend(CountingBackend):
 
     def __init__(
         self,
-        database: TransactionDatabase,
+        database: Optional[TransactionDatabase] = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
         max_workers: Optional[int] = None,
         mode: str = "threads",
         start_method: Optional[str] = None,
+        store: Optional["MmapShardStore"] = None,
     ) -> None:
         if shard_size < 1:
             raise ValidationError(
@@ -127,26 +160,97 @@ class ShardedBackend(CountingBackend):
             raise ValidationError(
                 f"mode must be one of {EXECUTION_MODES}, got {mode!r}"
             )
+        if database is None and store is None:
+            raise ValidationError(
+                "ShardedBackend needs a database or an mmap shard store"
+            )
+        self._store = store
         self._database = database
-        self._shard_size = int(shard_size)
+        # The store's segmentation is the sharding; a conflicting
+        # shard_size would silently change shard boundaries.
+        self._shard_size = (
+            store.rows_per_segment if store is not None
+            else int(shard_size)
+        )
         self._max_workers = max_workers
         self._mode = mode
         self._start_method = start_method
         self._shards: Optional[List[TransactionDatabase]] = None
         self._item_supports: Optional[np.ndarray] = None
         # Process-plane state (None until first process-mode query).
-        self._segments: Optional[List[shm.ShardSegment]] = None
+        self._segments: Optional[List] = None
         self._pool: Optional[parallel.WorkerPool] = None
         self._shm_unavailable = False
         self._closed = False
 
+    @classmethod
+    def from_store(
+        cls,
+        store: "MmapShardStore",
+        max_workers: Optional[int] = None,
+        mode: str = "threads",
+        start_method: Optional[str] = None,
+    ) -> "ShardedBackend":
+        """A backend over a spilled shard store (the mmap data plane).
+
+        The store's segments *are* the shards; queries open them
+        through its budget-bounded cache (threads) or by path in
+        worker processes.  ``close()`` closes the store too — mapped
+        segments are this backend's OS resources.
+        """
+        return cls(
+            max_workers=max_workers,
+            mode=mode,
+            start_method=start_method,
+            store=store,
+        )
+
     @property
     def database(self) -> TransactionDatabase:
+        """The full database (lazy memmap-view assembly on the mmap
+        plane — avoid on hot paths; queries never need it)."""
+        if self._database is None:
+            self._database = self._store.database()
         return self._database
 
     @property
+    def store(self) -> Optional["MmapShardStore"]:
+        """The spill store, or ``None`` on the in-memory plane."""
+        return self._store
+
+    @property
+    def num_items(self) -> int:
+        if self._store is not None:
+            return self._store.num_items
+        return self.database.num_items
+
+    @property
+    def num_transactions(self) -> int:
+        if self._store is not None:
+            return self._store.num_rows
+        return self.database.num_transactions
+
+    @property
     def num_shards(self) -> int:
+        if self._store is not None:
+            return max(self._store.num_segments, 1)
         return len(self._ensure_shards())
+
+    @property
+    def data_plane(self) -> str:
+        """``"mmap"`` when spilled to segment files, else ``"memory"``."""
+        return "mmap" if self._store is not None else "memory"
+
+    def data_plane_stats(self) -> Dict[str, object]:
+        """Residency telemetry for ``/healthz`` (mode + store stats)."""
+        stats: Dict[str, object] = {
+            "plane": self.data_plane,
+            "mode": self.effective_mode,
+            "shards": self.num_shards,
+        }
+        if self._store is not None:
+            stats.update(self._store.stats())
+        return stats
 
     @property
     def mode(self) -> str:
@@ -175,6 +279,9 @@ class ShardedBackend(CountingBackend):
         supports.
         """
         self._validate_delta(delta)
+        if self._store is not None:
+            self._extend_store(delta)
+            return
         extended = self._database.extended(delta)
         if self._shards is not None and delta.num_transactions:
             first_changed = len(self._shards)
@@ -212,6 +319,31 @@ class ShardedBackend(CountingBackend):
             )
         self._database = extended
 
+    def _extend_store(self, delta: TransactionDatabase) -> None:
+        """Mmap-plane extend: append to the spilled segments.
+
+        The store rewrites only its partial tail segment (atomically,
+        under a bumped generation) and adds new segments for the rest;
+        here we refresh the process plane's segment list from that
+        first changed index on — workers cache attachments by file
+        name, and the new generation's names are fresh, so stale
+        mappings can never answer.
+        """
+        if not delta.num_transactions:
+            return
+        first_changed = self._store.extend(list(delta.rows))
+        if self._segments is not None:
+            self._segments[first_changed:] = [
+                _FileSegment(spec)
+                for spec in self._store.segment_specs[first_changed:]
+            ]
+        if self._item_supports is not None:
+            self._item_supports = (
+                self._item_supports + delta.item_supports()
+            )
+        if self._database is not None:
+            self._database = self._database.extended(delta)
+
     # -- shard plumbing -------------------------------------------------
     def _ensure_shards(self) -> List[TransactionDatabase]:
         """Build the shard databases lazily (rows are shared, not
@@ -242,7 +374,30 @@ class ShardedBackend(CountingBackend):
     def _map_shards(
         self, task: Callable[[TransactionDatabase], _T]
     ) -> List[_T]:
-        """Thread-mode fan-out: ``task`` on every shard, merged later."""
+        """Thread-mode fan-out: ``task`` on every shard, merged later.
+
+        On the mmap plane shards are fetched per task through the
+        store's LRU cache instead of being held in a list, so the
+        resident set stays inside the store's memory budget even while
+        a query sweeps every shard.
+        """
+        if self._store is not None:
+            count = self._store.num_segments
+            if count == 0:
+                empty = TransactionDatabase.from_sorted_rows(
+                    [], self._store.num_items
+                )
+                return [task(empty)]
+            indices = range(count)
+
+            def run(index: int) -> _T:
+                return task(self._store.shard_database(index))
+
+            workers = self._workers_for(count)
+            if workers <= 1 or count <= 1:
+                return [run(index) for index in indices]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(run, indices))
         shards = self._ensure_shards()
         workers = self._workers_for(len(shards))
         if workers <= 1 or len(shards) <= 1:
@@ -252,14 +407,28 @@ class ShardedBackend(CountingBackend):
 
     # -- the process plane ----------------------------------------------
     def _ensure_process_plane(self) -> bool:
-        """Publish segments + start the pool; False → use threads."""
+        """Publish segments + start the pool; False → use threads.
+
+        On the mmap plane the "segments" are the store's files — no
+        shared-memory probe, no publication copy: workers attach by
+        path.  An empty store has nothing to fan out, so it answers in
+        thread mode (one empty shard).
+        """
         if (
             self._mode != "processes"
             or self._shm_unavailable
             or self._closed
         ):
             return False
-        if self._segments is None:
+        if self._store is not None:
+            if self._store.num_segments == 0:
+                return False
+            if self._segments is None:
+                self._segments = [
+                    _FileSegment(spec)
+                    for spec in self._store.segment_specs
+                ]
+        elif self._segments is None:
             if not shm.shared_memory_available():
                 self._shm_unavailable = True
                 return False
@@ -366,11 +535,14 @@ class ShardedBackend(CountingBackend):
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:
-        """Stop the worker pool and unlink every shared segment.
+        """Stop the worker pool and release every segment.
 
-        Idempotent; thread mode has nothing to release.  The backend
-        itself stays queryable only in thread mode afterwards — the
-        process plane will not be rebuilt once closed.
+        Idempotent.  Shared-memory segments are unlinked; on the mmap
+        plane the store's cached mappings are dropped and the store is
+        closed (its files stay on disk — reopen with
+        ``MmapShardStore.open``).  After close, only the in-memory
+        thread plane stays queryable — the process plane will not be
+        rebuilt.
         """
         self._closed = True
         if self._pool is not None:
@@ -379,6 +551,8 @@ class ShardedBackend(CountingBackend):
         if self._segments is not None:
             shm.unlink_all(self._segments)
             self._segments = None
+        if self._store is not None:
+            self._store.close()
 
     def __del__(self) -> None:  # pragma: no cover - best-effort
         try:
@@ -391,8 +565,13 @@ class ShardedBackend(CountingBackend):
         mode = (
             f", mode={self._mode!r}" if self._mode != "threads" else ""
         )
+        source = (
+            repr(self._store)
+            if self._store is not None
+            else repr(self._database)
+        )
         return (
-            f"ShardedBackend({self._database!r}, "
+            f"ShardedBackend({source}, "
             f"shard_size={self._shard_size}, "
             f"max_workers={self._max_workers}{mode})"
         )

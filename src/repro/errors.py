@@ -40,9 +40,39 @@ class ValidationError(ReproError, ValueError):
 
 
 class DatasetFormatError(ValidationError):
-    """A dataset file (e.g. FIMI ``.dat``) could not be parsed."""
+    """A dataset file (e.g. FIMI ``.dat``) could not be parsed.
+
+    Carries the offending ``source`` (file name or stream label) and
+    one-based ``line`` when the parser knows them, so batch tooling
+    can point at the broken record without string-matching messages.
+    """
 
     wire_code = "dataset_format_error"
+
+    def __init__(
+        self,
+        message: str,
+        source: "Any" = None,
+        line: "Any" = None,
+    ) -> None:
+        self.source = None if source is None else str(source)
+        self.line = None if line is None else int(line)
+        super().__init__(message)
+
+
+class DatasetTruncatedError(DatasetFormatError):
+    """A dataset stream ended mid-record (torn download, gzip member
+    cut short, partial final chunk).
+
+    Distinct from :class:`DatasetFormatError` because truncation is
+    *retryable* — re-fetch the file — whereas a malformed token means
+    the producer is wrong.  Loaders must raise this instead of
+    silently keeping the prefix that happened to parse: a truncated
+    log that loads "successfully" mis-counts every support from then
+    on.
+    """
+
+    wire_code = "dataset_truncated"
 
 
 class BudgetError(ReproError):
@@ -154,6 +184,30 @@ class StateStoreError(ReproError):
     wire_code = "state_store_error"
 
 
+class TornSegmentError(StateStoreError):
+    """A spilled shard segment failed its header/CRC check on reopen.
+
+    Raised by :mod:`repro.engine.mmap` when a memory-mapped shard
+    file under the state dir is missing, short, or fails checksum
+    verification — the signature of a crash mid-spill or disk
+    corruption.  Carries the zero-based ``segments`` indices so the
+    caller can rebuild *only* those shards from the source chunks
+    instead of respilling the whole dataset.
+    """
+
+    wire_code = "torn_segment"
+
+    def __init__(self, directory: "Any", segments, detail: str = "") -> None:
+        self.directory = str(directory)
+        self.segments = tuple(int(index) for index in segments)
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"torn shard segment(s) {list(self.segments)} under "
+            f"{self.directory}{suffix}; rebuild them from the source "
+            f"chunks (MmapShardStore.rebuild_segment)"
+        )
+
+
 class WorkerPoolError(ReproError):
     """The multiprocessing counting pool died mid-query.
 
@@ -239,4 +293,12 @@ def error_to_wire(error: BaseException) -> Dict[str, Any]:
     if isinstance(error, OverloadedError):
         payload["in_flight"] = error.in_flight
         payload["limit"] = error.limit
+    if isinstance(error, DatasetFormatError):
+        if error.source is not None:
+            payload["source"] = error.source
+        if error.line is not None:
+            payload["line"] = error.line
+    if isinstance(error, TornSegmentError):
+        payload["directory"] = error.directory
+        payload["segments"] = list(error.segments)
     return payload

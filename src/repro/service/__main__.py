@@ -85,6 +85,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="transactions per shard for --parallel threads/processes "
              "(default: engine DEFAULT_SHARD_SIZE)",
     )
+    parser.add_argument(
+        "--data-plane", choices=["memory", "mmap"], default="memory",
+        help="where shard data lives: 'memory' (default) keeps every "
+             "dataset RAM-resident; 'mmap' spills transactions to "
+             "memory-mapped segment files and serves queries through "
+             "an out-of-core sharded backend (bit-identical releases, "
+             "bounded resident memory)",
+    )
+    parser.add_argument(
+        "--memory-budget-mb", type=int, default=None, metavar="MB",
+        help="resident shard-cache budget for --data-plane mmap "
+             "(default: engine default, 256 MiB per dataset)",
+    )
     return parser
 
 
@@ -94,9 +107,11 @@ def backend_factory_for(arguments: argparse.Namespace):
     Returns ``None`` for the default bitmap plane (the service then
     builds its usual :class:`~repro.engine.bitmap.BitmapBackend`);
     otherwise each dataset gets its own sharded backend in the
-    requested execution mode.
+    requested execution mode.  ``--data-plane mmap`` also returns
+    ``None``: the service builds its own out-of-core sharded backend
+    per dataset (a factory would fight it for ownership).
     """
-    if arguments.parallel == "bitmap":
+    if arguments.parallel == "bitmap" or arguments.data_plane == "mmap":
         return None
     from repro.engine.sharded import DEFAULT_SHARD_SIZE, ShardedBackend
 
@@ -137,6 +152,8 @@ async def _run_cluster(arguments: argparse.Namespace) -> int:
         parallel=arguments.parallel,
         shard_workers=arguments.shard_workers,
         shard_size=arguments.shard_size,
+        data_plane=arguments.data_plane,
+        memory_budget_mb=arguments.memory_budget_mb,
     )
     cluster = PrivBasisCluster(config)
     host, port = await cluster.start(arguments.host, arguments.port)
@@ -175,7 +192,24 @@ async def _run(arguments: argparse.Namespace) -> int:
         max_inflight=arguments.max_inflight,
         state_dir=arguments.state_dir,
         fsync=arguments.fsync,
+        data_plane=arguments.data_plane,
+        memory_budget_mb=arguments.memory_budget_mb,
+        data_plane_mode=(
+            "processes" if arguments.parallel == "processes" else "threads"
+        ),
+        shard_size=arguments.shard_size,
+        shard_workers=arguments.shard_workers,
     )
+    if arguments.data_plane == "mmap":
+        print(
+            "data plane: mmap (out-of-core shard segments"
+            + (
+                f", budget {arguments.memory_budget_mb} MiB"
+                if arguments.memory_budget_mb
+                else ""
+            )
+            + ")"
+        )
     if arguments.parallel != "bitmap":
         print(
             f"counting plane: sharded/{arguments.parallel}"

@@ -163,6 +163,24 @@ class PrivBasisService:
         ``state_dir`` concurrently (cluster mode): the store opens its
         ledger in flock-serialized shared mode so ε admission is
         atomic cluster-wide.  Requires ``state_dir``.
+    data_plane:
+        ``"memory"`` (default) keeps every dataset's shards in RAM;
+        ``"mmap"`` spills each dataset to memory-mapped segment files
+        (under ``<state_dir>/shards/…``, or the system temp dir
+        without a state dir) and serves queries through a
+        budget-bounded shard cache — the out-of-core plane.  Counting
+        results are bit-identical either way.  Mutually exclusive
+        with ``backend_factory``.
+    memory_budget_mb:
+        Resident-shard budget per dataset for ``data_plane="mmap"``
+        (default: the engine's
+        :data:`~repro.engine.mmap.DEFAULT_MEMORY_BUDGET_BYTES`).
+    data_plane_mode:
+        Execution mode of the mmap plane's sharded backend:
+        ``"threads"`` (default) or ``"processes"``.
+    shard_size, shard_workers:
+        Shard rows / worker count for the mmap plane (same meaning as
+        the ``--shard-size`` / ``--shard-workers`` flags).
     """
 
     def __init__(
@@ -174,19 +192,53 @@ class PrivBasisService:
         state_dir: Optional[str] = None,
         fsync: str = "batch",
         shared_state: bool = False,
+        data_plane: str = "memory",
+        memory_budget_mb: Optional[int] = None,
+        data_plane_mode: str = "threads",
+        shard_size: Optional[int] = None,
+        shard_workers: Optional[int] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValidationError(
                 f"max_inflight must be >= 1, got {max_inflight}"
             )
+        if data_plane not in ("memory", "mmap"):
+            raise ValidationError(
+                f"data_plane must be 'memory' or 'mmap', "
+                f"got {data_plane!r}"
+            )
+        if data_plane == "mmap" and backend_factory is not None:
+            raise ValidationError(
+                "data_plane='mmap' builds its own sharded backend per "
+                "dataset; drop backend_factory or use data_plane_mode"
+            )
+        if data_plane_mode not in ("threads", "processes"):
+            raise ValidationError(
+                f"data_plane_mode must be 'threads' or 'processes', "
+                f"got {data_plane_mode!r}"
+            )
+        if memory_budget_mb is not None and memory_budget_mb < 1:
+            raise ValidationError(
+                f"memory_budget_mb must be >= 1, got {memory_budget_mb}"
+            )
+        self._data_plane = data_plane
+        self._memory_budget_mb = memory_budget_mb
+        self._data_plane_mode = data_plane_mode
+        self._shard_size = shard_size
+        self._shard_workers = shard_workers
         if dataset_loader is None:
-            from repro.datasets.registry import dataset_names, load_dataset
+            from repro.datasets.registry import (
+                load_dataset,
+                registered_names,
+            )
 
             # With the built-in loader the resolvable names are known
             # up front — fail at startup on a typo'd tenant config
             # instead of on the first request.  Custom loaders own
-            # their namespace and skip this check.
-            known = set(dataset_names())
+            # their namespace and skip this check.  ``registered_names``
+            # covers the classic in-memory datasets *and* the
+            # disk-backed synthetic tiers.
+            known = set(registered_names())
             unknown = [
                 name for name in registry.datasets() if name not in known
             ]
@@ -250,6 +302,65 @@ class PrivBasisService:
         when the service runs in-memory."""
         return self._store
 
+    # -- out-of-core data plane ------------------------------------------
+    def _build_mmap_backend(self, dataset: str, database):
+        """Spill ``database`` into mmap shard segments, return a backend.
+
+        Each session build spills into a *fresh* per-build directory
+        (``<state-dir>/shards/<dataset>/<pid>-<token>/`` when
+        persistence is on, a tempdir otherwise).  A fresh spill per
+        build is deliberate: WAL replay re-applies ingested deltas
+        through ``session.restore`` → ``backend.extend``, so reusing a
+        previous build's segments would double-apply them; and cluster
+        workers each build their own session, so a shared directory
+        would race.  Restart durability of the *format* is exercised
+        directly at the engine layer (``MmapShardStore.open``).
+        """
+        import os
+        import re
+        import secrets
+        import tempfile
+        from pathlib import Path
+
+        from repro.engine.mmap import MmapShardStore
+        from repro.engine.sharded import ShardedBackend
+
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "_", dataset) or "dataset"
+        root = (
+            Path(self._store.root) / "shards"
+            if self._store is not None
+            else Path(tempfile.gettempdir()) / "repro-shards"
+        )
+        directory = root / safe / f"{os.getpid()}-{secrets.token_hex(4)}"
+        budget = (
+            self._memory_budget_mb * 1024 * 1024
+            if self._memory_budget_mb is not None
+            else None
+        )
+        store = MmapShardStore.create(
+            directory,
+            num_items=database.num_items,
+            rows_per_segment=self._shard_size,
+            memory_budget_bytes=budget,
+        )
+        try:
+            step = store.rows_per_segment
+            rows = database.rows
+            # Feed the spill in segment-sized chunks so peak resident
+            # extra memory during the build is one segment, not the
+            # whole dataset twice.
+            for start in range(0, len(rows), step):
+                store.append_rows(rows[start:start + step])
+            store.flush()
+        except BaseException:
+            store.close()
+            raise
+        return ShardedBackend.from_store(
+            store,
+            max_workers=self._shard_workers,
+            mode=self._data_plane_mode,
+        )
+
     # -- session lifecycle (coalesced cold starts) -----------------------
     async def _build_session(self, dataset: str) -> PrivBasisSession:
         loop = asyncio.get_running_loop()
@@ -268,12 +379,21 @@ class PrivBasisService:
 
         def build() -> PrivBasisSession:
             database = self._loader(dataset)
-            backend = (
-                self._backend_factory(database)
-                if self._backend_factory is not None
-                else None
-            )
-            session = PrivBasisSession(database, backend=backend)
+            if self._data_plane == "mmap":
+                # The session is built from the backend alone: its
+                # database view comes lazily out of the mmap store,
+                # and the loaded in-memory copy is garbage once the
+                # spill completes.
+                backend = self._build_mmap_backend(dataset, database)
+                del database
+                session = PrivBasisSession(backend)
+            else:
+                backend = (
+                    self._backend_factory(database)
+                    if self._backend_factory is not None
+                    else None
+                )
+                session = PrivBasisSession(database, backend=backend)
             session.warm_up()
             if self._store is not None:
                 # Warm restore: replay every ingested batch recorded
@@ -646,6 +766,26 @@ class PrivBasisService:
         if self._store is not None:
             persistence["state_dir"] = str(self._store.root)
             persistence["recovery"] = self._store.recovery.to_wire()
+        data_plane: Dict[str, Any] = {"plane": self._data_plane}
+        if self._data_plane == "mmap":
+            from repro.engine.mmap import process_resident_bytes
+
+            resident = process_resident_bytes()
+            if resident is not None:
+                data_plane["process_resident_bytes"] = resident
+            spilled = 0
+            datasets: Dict[str, Any] = {}
+            for name, session in sorted(self._sessions.items()):
+                plane_stats = session.stats().get("data_plane")
+                if plane_stats is not None:
+                    datasets[name] = plane_stats
+                    spilled += int(plane_stats.get("spilled_bytes", 0))
+            data_plane["spilled_bytes"] = spilled
+            data_plane["datasets"] = datasets
+            if self._memory_budget_mb is not None:
+                data_plane["memory_budget_bytes"] = (
+                    self._memory_budget_mb * 1024 * 1024
+                )
         return {
             "status": "ok",
             "datasets": self._registry.datasets(),
@@ -653,6 +793,7 @@ class PrivBasisService:
             "tenants": len(self._registry),
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "persistence": persistence,
+            "data_plane": data_plane,
         }
 
     def handle_metrics(self) -> Dict[str, Any]:

@@ -118,6 +118,12 @@ class ClusterConfig:
         Per-worker counting plane, as for ``python -m repro.service``
         (``"bitmap"`` default, or a sharded backend in ``"threads"`` /
         ``"processes"`` mode).
+    data_plane, memory_budget_mb:
+        ``"memory"`` (default) keeps worker datasets RAM-resident;
+        ``"mmap"`` has each worker spill its datasets into
+        memory-mapped shard segments under the shared state dir
+        (unique per-build directories, so workers never race) and
+        serve out-of-core with the given resident-cache budget.
     """
 
     tenants: Mapping[str, Mapping[str, object]]
@@ -129,6 +135,8 @@ class ClusterConfig:
     parallel: str = "bitmap"
     shard_workers: Optional[int] = None
     shard_size: Optional[int] = None
+    data_plane: str = "memory"
+    memory_budget_mb: Optional[int] = None
 
     def validate(self) -> None:
         """Fail fast on a config no worker could start from."""
@@ -145,6 +153,16 @@ class ClusterConfig:
             raise ValidationError(
                 f"parallel must be one of {_PARALLEL_MODES}, "
                 f"got {self.parallel!r}"
+            )
+        if self.data_plane not in ("memory", "mmap"):
+            raise ValidationError(
+                f"data_plane must be 'memory' or 'mmap', "
+                f"got {self.data_plane!r}"
+            )
+        if self.memory_budget_mb is not None and self.memory_budget_mb < 1:
+            raise ValidationError(
+                f"memory_budget_mb must be >= 1, "
+                f"got {self.memory_budget_mb}"
             )
         if not isinstance(self.tenants, Mapping) or not self.tenants:
             raise ValidationError(
@@ -169,8 +187,12 @@ class ClusterConfig:
 
 
 def _backend_factory_for(config: ClusterConfig):
-    """The worker-side ``database -> CountingBackend`` factory."""
-    if config.parallel == "bitmap":
+    """The worker-side ``database -> CountingBackend`` factory.
+
+    ``data_plane="mmap"`` returns ``None``: the worker's service
+    builds its own out-of-core sharded backend per dataset.
+    """
+    if config.parallel == "bitmap" or config.data_plane == "mmap":
         return None
     from repro.engine.sharded import DEFAULT_SHARD_SIZE, ShardedBackend
 
@@ -210,6 +232,14 @@ async def _worker_serve(index: int, config: ClusterConfig, conn) -> None:
             state_dir=config.state_dir,
             fsync=config.fsync,
             shared_state=True,
+            data_plane=config.data_plane,
+            memory_budget_mb=config.memory_budget_mb,
+            data_plane_mode=(
+                "processes" if config.parallel == "processes"
+                else "threads"
+            ),
+            shard_size=config.shard_size,
+            shard_workers=config.shard_workers,
         )
         _host, port = await service.start("127.0.0.1", 0)
     except Exception as error:  # noqa: BLE001 — crosses the pipe

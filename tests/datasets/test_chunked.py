@@ -1,0 +1,355 @@
+"""Chunked-loader fuzz and contract tests.
+
+The chunked loaders feed the trusted zero-validation
+``from_sorted_rows`` path and the mmap spill store, so *they* carry
+the validation burden: every malformed input must raise a typed
+:class:`DatasetFormatError` (with source + line) or
+:class:`DatasetTruncatedError` — never silently mis-count.  This
+suite fuzzes the failure modes the wire can actually produce
+(truncated final record, gzip members cut short, duplicate /
+non-monotone / non-integer items, blank lines) across all three
+formats, and pins chunk geometry, ``read_fimi`` parity, and the
+deterministic tier synthesis the registry serves.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.chunked import (
+    DEFAULT_CHUNK_SIZE,
+    TransactionChunk,
+    detect_format,
+    iter_transaction_chunks,
+    load_chunked,
+    synthesize_tier_chunks,
+    write_tier_file,
+)
+from repro.datasets.fimi import parse_item_token, read_fimi
+from repro.errors import (
+    DatasetFormatError,
+    DatasetTruncatedError,
+    ValidationError,
+    error_to_wire,
+)
+
+
+def write_text(path, text: str) -> None:
+    path.write_text(text, encoding="utf-8")
+
+
+def rows_of(chunks):
+    return [row.tolist() for chunk in chunks for row in chunk.rows]
+
+
+# ----------------------------------------------------------------------
+# Geometry and format detection
+# ----------------------------------------------------------------------
+class TestChunkGeometry:
+    def test_fixed_size_chunks_with_smaller_tail(self, tmp_path):
+        path = tmp_path / "db.dat"
+        write_text(path, "".join(f"{i} {i + 1}\n" for i in range(7)))
+        chunks = list(iter_transaction_chunks(path, chunk_size=3))
+        assert [chunk.num_rows for chunk in chunks] == [3, 3, 1]
+        assert [chunk.start for chunk in chunks] == [0, 3, 6]
+        assert chunks[-1].max_item == 7
+        assert chunks[0].total_size == 6
+        assert rows_of(chunks) == [[i, i + 1] for i in range(7)]
+
+    def test_chunk_database_roundtrip(self, tmp_path):
+        path = tmp_path / "db.dat"
+        write_text(path, "0 2\n1 3\n")
+        (chunk,) = iter_transaction_chunks(path, chunk_size=10)
+        database = chunk.database(num_items=4)
+        assert database.num_transactions == 2
+        assert database.num_items == 4
+
+    def test_default_chunk_size_matches_shard_default(self):
+        from repro.engine.sharded import DEFAULT_SHARD_SIZE
+
+        assert DEFAULT_CHUNK_SIZE == DEFAULT_SHARD_SIZE
+
+    def test_chunk_size_must_be_positive(self, tmp_path):
+        path = tmp_path / "db.dat"
+        write_text(path, "1\n")
+        with pytest.raises(ValidationError):
+            list(iter_transaction_chunks(path, chunk_size=0))
+
+    @pytest.mark.parametrize(
+        ("name", "expected"),
+        [
+            ("data.dat", "fimi"),
+            ("data.dat.gz", "fimi"),
+            ("data.txt", "fimi"),
+            ("data.csv", "csv"),
+            ("data.csv.gz", "csv"),
+            ("data.ndjson", "ndjson"),
+            ("data.jsonl.gz", "ndjson"),
+            ("data.unknown", "fimi"),
+        ],
+    )
+    def test_detect_format(self, name, expected):
+        assert detect_format(name) == expected
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "db.dat"
+        write_text(path, "1\n")
+        with pytest.raises(ValidationError):
+            list(iter_transaction_chunks(path, format="parquet"))
+
+    def test_missing_file_is_format_error(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            list(iter_transaction_chunks(tmp_path / "absent.dat"))
+
+
+# ----------------------------------------------------------------------
+# Truncation: the stream ends mid-record
+# ----------------------------------------------------------------------
+class TestTruncation:
+    def test_missing_final_newline_raises(self, tmp_path):
+        path = tmp_path / "db.dat"
+        write_text(path, "0 1\n2 3\n4 5")  # cut mid-transfer
+        with pytest.raises(DatasetTruncatedError) as excinfo:
+            list(iter_transaction_chunks(path))
+        assert excinfo.value.line == 3
+        assert str(path) in str(excinfo.value.source)
+
+    def test_truncated_row_never_reaches_a_chunk(self, tmp_path):
+        """The cut line must not ride out inside an already-full
+        chunk: nothing from the poisoned tail is yielded."""
+        path = tmp_path / "db.dat"
+        write_text(path, "0\n1\n2\n3 4")
+        received = []
+        with pytest.raises(DatasetTruncatedError):
+            for chunk in iter_transaction_chunks(path, chunk_size=2):
+                received.extend(rows_of([chunk]))
+        assert received == [[0], [1]]  # the complete first chunk only
+
+    def test_gzip_member_cut_short(self, tmp_path):
+        path = tmp_path / "db.dat.gz"
+        payload = "".join(f"{i}\n" for i in range(2_000))
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(payload)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])  # cut mid-member
+        with pytest.raises(DatasetTruncatedError) as excinfo:
+            list(iter_transaction_chunks(path))
+        assert excinfo.value.wire_code == "dataset_truncated"
+
+    def test_corrupt_gzip_is_format_error(self, tmp_path):
+        path = tmp_path / "db.dat.gz"
+        path.write_bytes(b"this is not gzip at all")
+        with pytest.raises(DatasetFormatError):
+            list(iter_transaction_chunks(path))
+
+    def test_truncated_error_wire_shape(self):
+        error = DatasetTruncatedError(
+            "line 3: stream ends mid-record", source="db.dat", line=3
+        )
+        wire = error_to_wire(error)
+        assert wire["error"] == "dataset_truncated"
+        assert wire["source"] == "db.dat"
+        assert wire["line"] == 3
+
+
+# ----------------------------------------------------------------------
+# Strict row validation (all formats feed from_sorted_rows)
+# ----------------------------------------------------------------------
+class TestStrictValidation:
+    @pytest.mark.parametrize(
+        ("payload", "fragment"),
+        [
+            ("0 3 3 5\n", "duplicate"),
+            ("5 2\n", "non-monotone"),
+            ("1 -4\n", "negative"),
+            ("1 x\n", "non-integer"),
+            ("1_0\n", "non-integer"),  # int("1_0") would accept this
+            ("+5\n", "non-integer"),  # int("+5") would accept this
+            ("١٢\n", "non-integer"),  # Arabic-Indic digits
+            ("0 9999999999\n", "out of range"),
+        ],
+    )
+    def test_fimi_rejections(self, tmp_path, payload, fragment):
+        path = tmp_path / "db.dat"
+        write_text(path, "0 1\n" + payload)
+        with pytest.raises(DatasetFormatError) as excinfo:
+            list(iter_transaction_chunks(path, num_items=100))
+        assert fragment in str(excinfo.value)
+        assert excinfo.value.line == 2
+
+    def test_fimi_blank_lines_skipped_like_read_fimi(self, tmp_path):
+        path = tmp_path / "db.dat"
+        write_text(path, "0 1\n\n  \n2 3\n")
+        chunks = list(iter_transaction_chunks(path))
+        assert rows_of(chunks) == [[0, 1], [2, 3]]
+
+    def test_csv_blank_line_rejected(self, tmp_path):
+        path = tmp_path / "db.csv"
+        write_text(path, "0,1\n\n2,3\n")
+        with pytest.raises(DatasetFormatError) as excinfo:
+            list(iter_transaction_chunks(path))
+        assert "blank" in str(excinfo.value)
+        assert excinfo.value.line == 2
+
+    def test_csv_parses_with_spaces(self, tmp_path):
+        path = tmp_path / "db.csv"
+        write_text(path, "0, 1, 5\n2,3\n")
+        chunks = list(iter_transaction_chunks(path))
+        assert rows_of(chunks) == [[0, 1, 5], [2, 3]]
+
+    def test_ndjson_array_and_object_records(self, tmp_path):
+        path = tmp_path / "db.ndjson"
+        write_text(path, '[0, 2]\n{"items": [1, 3, 4]}\n')
+        chunks = list(iter_transaction_chunks(path))
+        assert rows_of(chunks) == [[0, 2], [1, 3, 4]]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json\n",
+            '"scalar"\n',
+            '{"rows": [1]}\n',
+            "[true]\n",
+            "[1.5]\n",
+            "[-3]\n",
+            "[]\n",
+            "\n",
+        ],
+    )
+    def test_ndjson_rejections(self, tmp_path, payload):
+        path = tmp_path / "db.ndjson"
+        write_text(path, "[0]\n" + payload)
+        with pytest.raises(DatasetFormatError) as excinfo:
+            list(iter_transaction_chunks(path))
+        assert excinfo.value.line == 2
+
+    def test_empty_fimi_transaction_line_rejected(self, tmp_path):
+        # A line of only separators parses to zero items in csv.
+        path = tmp_path / "db.csv"
+        write_text(path, "0,1\n,\n")
+        with pytest.raises(DatasetFormatError):
+            list(iter_transaction_chunks(path))
+
+    def test_parse_item_token_is_strict(self):
+        assert parse_item_token("42", 1) == 42
+        for bad in ("1_0", "+5", " 7", "0x1f", "", "١"):
+            with pytest.raises(DatasetFormatError):
+                parse_item_token(bad, 1)
+        with pytest.raises(DatasetFormatError, match="negative"):
+            parse_item_token("-5", 1)
+
+
+# ----------------------------------------------------------------------
+# Parity with the forgiving materializing loader
+# ----------------------------------------------------------------------
+class TestReadFimiParity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_load_chunked_matches_read_fimi(self, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        lines = []
+        for _ in range(50):
+            size = int(rng.integers(1, 8))
+            row = np.unique(rng.integers(0, 30, size=size))
+            lines.append(" ".join(str(int(i)) for i in row))
+        path = tmp_path / "db.dat"
+        write_text(path, "\n".join(lines) + "\n")
+
+        chunked = load_chunked(path, chunk_size=int(rng.integers(1, 9)))
+        reference = read_fimi(path)
+        assert chunked.num_transactions == reference.num_transactions
+        assert chunked.num_items == reference.num_items
+        for mine, theirs in zip(chunked.rows, reference.rows):
+            np.testing.assert_array_equal(mine, theirs)
+        np.testing.assert_array_equal(
+            chunked.item_supports(), reference.item_supports()
+        )
+
+    def test_gzip_and_plain_agree(self, tmp_path):
+        text = "0 1 2\n3 4\n0 4\n"
+        plain = tmp_path / "db.dat"
+        write_text(plain, text)
+        zipped = tmp_path / "db.dat.gz"
+        with gzip.open(zipped, "wt", encoding="utf-8") as handle:
+            handle.write(text)
+        assert rows_of(iter_transaction_chunks(plain)) == (
+            rows_of(iter_transaction_chunks(zipped))
+        )
+
+    def test_stream_source_supported(self):
+        stream = io.StringIO("0 1\n2\n")
+        chunks = list(iter_transaction_chunks(stream, chunk_size=1))
+        assert rows_of(chunks) == [[0, 1], [2]]
+
+
+# ----------------------------------------------------------------------
+# Tier synthesis + registry wiring
+# ----------------------------------------------------------------------
+class TestTiers:
+    def test_synthesis_is_deterministic(self):
+        first = rows_of(
+            synthesize_tier_chunks(200, 50, 5.0, seed=9, chunk_size=64)
+        )
+        second = rows_of(
+            synthesize_tier_chunks(200, 50, 5.0, seed=9, chunk_size=64)
+        )
+        assert first == second
+        assert len(first) == 200
+        assert all(rows for rows in first)  # never an empty row
+
+    def test_synthesis_chunk_size_does_not_change_rows(self):
+        coarse = rows_of(synthesize_tier_chunks(100, 40, 6.0, seed=3,
+                                                chunk_size=100))
+        fine = rows_of(synthesize_tier_chunks(100, 40, 6.0, seed=3,
+                                              chunk_size=7))
+        # Different chunking draws RNG in different batch shapes, so
+        # only the geometry contract holds: same row count, valid rows.
+        assert len(coarse) == len(fine) == 100
+
+    def test_write_tier_file_roundtrip(self, tmp_path):
+        chunks = list(
+            synthesize_tier_chunks(120, 30, 4.0, seed=5, chunk_size=32)
+        )
+        path = tmp_path / "tier.dat.gz"
+        written = write_tier_file(path, iter(chunks))
+        assert written == 120
+        loaded = rows_of(iter_transaction_chunks(path, chunk_size=50))
+        assert loaded == rows_of(chunks)
+
+    def test_registry_serves_tiers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER_DIR", str(tmp_path))
+        from repro.datasets.registry import (
+            TIERS,
+            dataset_chunks,
+            ensure_tier_file,
+            load_dataset,
+            registered_names,
+            tier_names,
+        )
+
+        assert set(tier_names()) <= set(registered_names())
+        spec = TIERS["tier-tiny"]
+        path = ensure_tier_file("tier-tiny")
+        assert path.exists()
+        num_items, chunks = dataset_chunks("tier-tiny", chunk_size=512)
+        assert num_items == spec.num_items
+        total = sum(chunk.num_rows for chunk in chunks)
+        assert total == spec.num_transactions
+        database = load_dataset("tier-tiny")
+        assert database.num_transactions == spec.num_transactions
+        assert database.num_items == spec.num_items
+
+    def test_classic_datasets_chunk_identically(self):
+        from repro.datasets.registry import dataset_chunks, load_dataset
+
+        database = load_dataset("mushroom")
+        num_items, chunks = dataset_chunks("mushroom", chunk_size=1000)
+        assert num_items == database.num_items
+        rebuilt = rows_of(chunks)
+        assert len(rebuilt) == database.num_transactions
+        for mine, theirs in zip(rebuilt, database.rows):
+            np.testing.assert_array_equal(mine, theirs)

@@ -14,11 +14,13 @@ from repro.errors import (
     BudgetError,
     BudgetExceededError,
     DatasetFormatError,
+    DatasetTruncatedError,
     EmptySelectionError,
     IngestNotAllowedError,
     InvalidFractionsError,
     OverloadedError,
     ReproError,
+    TornSegmentError,
     UnknownPlannerError,
     UnknownTenantError,
     ValidationError,
@@ -76,6 +78,8 @@ class TestWireCodes:
         ReproError("x"): "internal_error",
         ValidationError("x"): "validation_error",
         DatasetFormatError("x"): "dataset_format_error",
+        DatasetTruncatedError("x"): "dataset_truncated",
+        TornSegmentError("/tmp/shards", (1,)): "torn_segment",
         BudgetError("x"): "budget_error",
         BudgetExceededError(1.0, 0.0): "budget_exceeded",
         EmptySelectionError("x"): "empty_selection",
