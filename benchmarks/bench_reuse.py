@@ -1,0 +1,204 @@
+"""Reuse-plane benchmark: warm (reuse-served) vs cold releases.
+
+The cross-release reuse plane (:mod:`repro.pipeline.reuse`) answers a
+``(k', ε')`` request by post-processing a stored ``(k, ε)`` release
+whenever ``k' ≤ k`` and ``ε' ≤ ε`` — truncate to the top ``k'``
+itemsets, re-rank, never re-touch the data, and charge exactly ε = 0.
+This benchmark prices that plane in the only two currencies that
+matter:
+
+* **latency** — a reuse hit is a sort + slice of an already-released
+  payload, so a warm request should beat a cold Algorithm 1 run by a
+  wide margin (the acceptance bar asserts ≥ 5x);
+* **epsilon** — every warm request must debit exactly 0 from the
+  ledger while the cold comparison pays the full planned ε.
+
+Both legs answer the *same* ``(k', ε')`` request: one session has the
+reuse plane on and holds a dominating stored release, the other runs
+each request fresh.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_reuse.py
+    PYTHONPATH=src python benchmarks/bench_reuse.py --smoke   # CI
+
+``--smoke`` shrinks the workload and skips the speedup floor (CI
+machines are noisy) but still asserts the soundness half: every warm
+request is a hit, charges ε = 0, and matches the stored payload's
+truncation bit for bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.datasets.synthetic import QuestConfig, generate_quest
+from repro.engine.session import PrivBasisSession
+from repro.pipeline.reuse import top_k_truncate
+
+#: The stored release every warm request is served from.
+STORED_K, STORED_EPSILON = 100, 1.0
+#: The (strictly dominated) request both legs answer.
+WARM_K, WARM_EPSILON = 50, 0.5
+
+CONFIG = QuestConfig(
+    num_transactions=20_000,
+    num_items=120,
+    avg_transaction_length=10.0,
+    avg_pattern_length=4.0,
+    num_patterns=30,
+)
+SMOKE_CONFIG = QuestConfig(
+    num_transactions=1_500,
+    num_items=50,
+    avg_transaction_length=8.0,
+    avg_pattern_length=4.0,
+    num_patterns=15,
+)
+REQUESTS, SMOKE_REQUESTS = 25, 3
+#: Acceptance floor for the full run: warm must beat cold by this.
+SPEEDUP_FLOOR = 5.0
+
+
+def run_benchmark(smoke: bool) -> Dict[str, object]:
+    """Time warm (reuse-served) vs cold releases of one request."""
+    database = generate_quest(SMOKE_CONFIG if smoke else CONFIG, rng=7)
+    requests = SMOKE_REQUESTS if smoke else REQUESTS
+
+    warm_session = PrivBasisSession(database, reuse=True)
+    stored = warm_session.release(k=STORED_K, epsilon=STORED_EPSILON)
+    assert getattr(stored, "reuse", None) is None
+    spent_after_store = warm_session.epsilon_spent
+
+    warm: List[float] = []
+    for _ in range(requests):
+        started = time.perf_counter()
+        result = warm_session.release(k=WARM_K, epsilon=WARM_EPSILON)
+        warm.append(time.perf_counter() - started)
+        reuse = getattr(result, "reuse", None)
+        assert reuse is not None and reuse["hit"], (
+            "warm request missed the reuse plane"
+        )
+        assert reuse["epsilon_charged"] == 0.0
+    # Soundness spot-checks beyond timing: the ledger never moved, and
+    # the served payload is exactly the stored release truncated.
+    assert warm_session.epsilon_spent == spent_after_store, (
+        "reuse hits debited the ledger"
+    )
+    assert warm_session.reuse_hits == requests
+    truncated = top_k_truncate(
+        {
+            "k": stored.k,
+            "epsilon": stored.epsilon,
+            "snapshot_version": stored.snapshot_version,
+            "itemsets": [
+                {
+                    "items": list(entry.itemset),
+                    "noisy_count": entry.noisy_count,
+                    "noisy_frequency": entry.noisy_frequency,
+                }
+                for entry in stored.itemsets
+            ],
+        },
+        WARM_K,
+        WARM_EPSILON,
+    )
+    served = warm_session.release(k=WARM_K, epsilon=WARM_EPSILON)
+    assert [list(e.itemset) for e in served.itemsets] == [
+        entry["items"] for entry in truncated["itemsets"]
+    ], "reuse answer diverged from top_k_truncate of the stored release"
+
+    cold_session = PrivBasisSession(database)
+    cold: List[float] = []
+    for _ in range(requests):
+        started = time.perf_counter()
+        result = cold_session.release(k=WARM_K, epsilon=WARM_EPSILON)
+        cold.append(time.perf_counter() - started)
+        assert getattr(result, "reuse", None) is None
+
+    warm_s = statistics.median(warm)
+    cold_s = statistics.median(cold)
+    return {
+        "num_transactions": database.num_transactions,
+        "num_items": database.num_items,
+        "stored": {"k": STORED_K, "epsilon": STORED_EPSILON},
+        "request": {"k": WARM_K, "epsilon": WARM_EPSILON},
+        "requests": requests,
+        "warm_median_s": warm_s,
+        "cold_median_s": cold_s,
+        "speedup": cold_s / warm_s,
+        "warm_epsilon_charged": 0.0,
+        "warm_epsilon_saved": requests * WARM_EPSILON,
+        "cold_epsilon_charged": cold_session.epsilon_spent,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload; asserts hit-path ε=0, skips the speedup "
+        "floor (CI)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="JSON output path (default: BENCH_reuse.json next to "
+        "the repo root; not written in --smoke mode)",
+    )
+    arguments = parser.parse_args(argv)
+    numbers = run_benchmark(arguments.smoke)
+
+    print(
+        f"== reuse plane over N={numbers['num_transactions']} "
+        f"(stored k={STORED_K} eps={STORED_EPSILON}, "
+        f"request k={WARM_K} eps={WARM_EPSILON}) =="
+    )
+    print(f"warm (reuse hit):  {numbers['warm_median_s'] * 1e3:9.3f} ms")
+    print(f"cold (fresh run):  {numbers['cold_median_s'] * 1e3:9.3f} ms")
+    print(
+        f"speedup:           {numbers['speedup']:9.1f}x at "
+        f"eps_charged={numbers['warm_epsilon_charged']} "
+        f"(saved {numbers['warm_epsilon_saved']:.2f} eps over "
+        f"{numbers['requests']} requests; cold leg paid "
+        f"{numbers['cold_epsilon_charged']:.2f})"
+    )
+    if arguments.smoke:
+        print("smoke ok: every warm request hit at eps=0")
+        return 0
+
+    assert numbers["speedup"] >= SPEEDUP_FLOOR, (
+        f"reuse speedup {numbers['speedup']:.1f}x is below the "
+        f"{SPEEDUP_FLOOR}x acceptance floor"
+    )
+    output = Path(
+        arguments.output
+        or Path(__file__).resolve().parent.parent / "BENCH_reuse.json"
+    )
+    output.write_text(
+        json.dumps(
+            {
+                "benchmark": "reuse",
+                "smoke": False,
+                "results": numbers,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

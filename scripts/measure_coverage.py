@@ -25,17 +25,22 @@ import threading
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-PACKAGES = ("repro/datasets", "repro/engine")
+PACKAGES = (
+    "repro/datasets",
+    "repro/engine",
+    "repro/pipeline",
+    "repro/service",
+)
 SRC = REPO_ROOT / "src"
+
+_MARKERS = tuple(f"/{package}/" for package in PACKAGES)
 
 executed: dict = {}
 
 
 def _trace(frame, event, arg):
     filename = frame.f_code.co_filename
-    if "/repro/datasets/" not in filename and (
-        "/repro/engine/" not in filename
-    ):
+    if not any(marker in filename for marker in _MARKERS):
         return None
     if event == "line":
         executed.setdefault(filename, set()).add(frame.f_lineno)

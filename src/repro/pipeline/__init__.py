@@ -25,16 +25,27 @@ from repro.pipeline.planner import (
     DEFAULT_ALPHAS,
     SINGLE_BASIS_LAMBDA,
     AdaptivePlanner,
+    AutoPlanner,
     BudgetPlanner,
     CustomPlanner,
     PaperPlanner,
     SelectionAllocation,
+    TraceHistory,
     default_eta,
     pair_budget_size,
     planner_for,
     planner_names,
     resolve_planner,
     validate_alphas,
+)
+from repro.pipeline.reuse import (
+    ReuseDecision,
+    ReuseIndex,
+    StoredRelease,
+    payload_from_result,
+    result_from_payload,
+    reuse_covers,
+    top_k_truncate,
 )
 from repro.pipeline.run import execute_plan, planned_release
 from repro.pipeline.stages import (
@@ -55,6 +66,7 @@ from repro.pipeline.trace import (
 
 __all__ = [
     "AdaptivePlanner",
+    "AutoPlanner",
     "BasisFreqStage",
     "BudgetPlanner",
     "ConstructBasis",
@@ -67,6 +79,8 @@ __all__ = [
     "QueryCountingBackend",
     "ReleasePlan",
     "ReleaseTrace",
+    "ReuseDecision",
+    "ReuseIndex",
     "SINGLE_BASIS_LAMBDA",
     "SelectItems",
     "SelectPairs",
@@ -74,13 +88,19 @@ __all__ = [
     "Stage",
     "StageContext",
     "StageTrace",
+    "StoredRelease",
+    "TraceHistory",
     "build_plan",
     "default_eta",
     "execute_plan",
     "pair_budget_size",
+    "payload_from_result",
     "planned_release",
     "planner_for",
     "planner_names",
     "resolve_planner",
+    "result_from_payload",
+    "reuse_covers",
+    "top_k_truncate",
     "validate_alphas",
 ]

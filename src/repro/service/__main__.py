@@ -98,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="resident shard-cache budget for --data-plane mmap "
              "(default: engine default, 256 MiB per dataset)",
     )
+    parser.add_argument(
+        "--no-reuse", action="store_true",
+        help="disable the cross-release reuse plane: every release "
+             "runs the mechanism fresh instead of answering dominated "
+             "(k, epsilon) requests from the tenant's stored releases "
+             "at zero epsilon",
+    )
     return parser
 
 
@@ -154,6 +161,7 @@ async def _run_cluster(arguments: argparse.Namespace) -> int:
         shard_size=arguments.shard_size,
         data_plane=arguments.data_plane,
         memory_budget_mb=arguments.memory_budget_mb,
+        reuse=not arguments.no_reuse,
     )
     cluster = PrivBasisCluster(config)
     host, port = await cluster.start(arguments.host, arguments.port)
@@ -199,7 +207,10 @@ async def _run(arguments: argparse.Namespace) -> int:
         ),
         shard_size=arguments.shard_size,
         shard_workers=arguments.shard_workers,
+        reuse=not arguments.no_reuse,
     )
+    if arguments.no_reuse:
+        print("reuse plane: disabled (--no-reuse)")
     if arguments.data_plane == "mmap":
         print(
             "data plane: mmap (out-of-core shard segments"

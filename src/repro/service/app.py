@@ -36,6 +36,18 @@ One :class:`PrivBasisService` fronts one
   execution trace (``"trace": true``) and every served release feeds
   the per-stage counters ``/metrics`` reports under ``pipeline``.
 
+* **Stored releases are reused before data is touched.**  When a
+  plain ``(k', ε')`` request is strictly dominated by a release the
+  *same tenant* already bought on the *same snapshot* (``k' ≤ k``,
+  ``ε' ≤ ε``, not byte-identical — see :mod:`repro.pipeline.reuse`),
+  the service answers by truncating the stored payload: pure
+  post-processing, charged exactly ε = 0, zero backend queries.
+  Byte-identical repeats always run fresh (the seed-less contract
+  above promises distinct noise), as do requests naming a ``planner``
+  or ``noise`` override.  ``/v1/plan`` prices a reuse hit at 0 and
+  ``/metrics`` counts hits, misses, and ε saved; ``--no-reuse``
+  (``reuse=False``) opts a deployment out entirely.
+
 * **State is durable when ``state_dir`` is set.**  Every ε debit is
   journaled write-ahead (durable *before* the noisy answer leaves the
   process), every ingest batch is logged with its snapshot version,
@@ -74,9 +86,15 @@ from repro.errors import (
     error_to_wire,
 )
 from repro.pipeline.plan import build_plan
+from repro.pipeline.planner import AutoPlanner, TraceHistory
+from repro.pipeline.reuse import ReuseDecision, ReuseIndex, top_k_truncate
 from repro.service import http
 from repro.service.coalesce import Coalescer
-from repro.service.metrics import ServiceMetrics, StageMetrics
+from repro.service.metrics import (
+    ReuseMetrics,
+    ServiceMetrics,
+    StageMetrics,
+)
 from repro.service.protocol import (
     parse_batch_request,
     parse_ingest_request,
@@ -181,6 +199,13 @@ class PrivBasisService:
     shard_size, shard_workers:
         Shard rows / worker count for the mmap plane (same meaning as
         the ``--shard-size`` / ``--shard-workers`` flags).
+    reuse:
+        ``True`` (default) serves dominated plain requests from the
+        tenant's stored releases at ε = 0 (see the module docstring's
+        reuse bullet); ``False`` (``--no-reuse``) runs every release
+        fresh.  With ``state_dir`` set, reuse sources survive restarts
+        (the result store rebuilds its per-tenant indexes from the
+        WAL); without it the indexes live in memory.
     """
 
     def __init__(
@@ -197,6 +222,7 @@ class PrivBasisService:
         data_plane_mode: str = "threads",
         shard_size: Optional[int] = None,
         shard_workers: Optional[int] = None,
+        reuse: bool = True,
     ) -> None:
         if max_inflight < 1:
             raise ValidationError(
@@ -278,6 +304,14 @@ class PrivBasisService:
         self._release_locks: Dict[str, asyncio.Lock] = {}
         self._metrics = ServiceMetrics()
         self._stage_metrics = StageMetrics()
+        self._reuse_enabled = bool(reuse)
+        self._reuse_metrics = ReuseMetrics(enabled=self._reuse_enabled)
+        #: In-memory per-tenant reuse indexes — only used without a
+        #: state store (with one, the result store owns the indexes
+        #: and rebuilds them from the WAL on restart).
+        self._reuse_indexes: Dict[str, ReuseIndex] = {}
+        #: Per-dataset release-trace history feeding AutoPlanner.
+        self._trace_histories: Dict[str, TraceHistory] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._started_at = time.monotonic()
@@ -454,6 +488,69 @@ class PrivBasisService:
             lock = self._release_locks[dataset] = asyncio.Lock()
         return lock
 
+    # -- reuse plane ------------------------------------------------------
+    def _history_for(self, dataset: str) -> TraceHistory:
+        """The dataset's accumulated release-branch history."""
+        history = self._trace_histories.get(dataset)
+        if history is None:
+            history = self._trace_histories[dataset] = TraceHistory()
+        return history
+
+    def _bind_auto(self, request: Dict[str, Any], dataset: str) -> None:
+        """Give an unbound AutoPlanner this dataset's trace history."""
+        planner = request.get("planner")
+        if isinstance(planner, AutoPlanner) and planner.history is None:
+            planner.bind(self._history_for(dataset))
+
+    def _reuse_lookup(
+        self, tenant: Tenant, snapshot_version: int, k: int,
+        epsilon: float,
+    ) -> ReuseDecision:
+        """Per-tenant reuse decision (store-backed or in-memory)."""
+        if self._store is not None:
+            return self._store.results.reuse_lookup(
+                tenant.tenant_id, tenant.dataset, snapshot_version,
+                k, epsilon,
+            )
+        index = self._reuse_indexes.get(tenant.tenant_id)
+        if index is None:
+            return ReuseDecision(
+                hit=False,
+                reason=(
+                    f"no stored release for dataset "
+                    f"{tenant.dataset!r} at snapshot "
+                    f"{int(snapshot_version)}"
+                ),
+            )
+        return index.lookup(tenant.dataset, snapshot_version, k, epsilon)
+
+    def _remember_reuse(self, tenant: Tenant, result: Any) -> None:
+        """Index one fresh release as a future reuse source.
+
+        Only the in-memory path does work: with a state store,
+        :meth:`_persist_release` already feeds the result store's
+        per-tenant index as a side effect of recording the payload.
+        """
+        if not self._reuse_enabled or self._store is not None:
+            return
+        index = self._reuse_indexes.get(tenant.tenant_id)
+        if index is None:
+            index = self._reuse_indexes[tenant.tenant_id] = ReuseIndex()
+        index.add(
+            tenant.dataset, result.snapshot_version or 0,
+            result_to_wire(result),
+        )
+
+    def _invalidate_reuse(self, dataset: str, version: int) -> None:
+        """Drop reuse sources made stale by an ingest to ``dataset``."""
+        if not self._reuse_enabled:
+            return
+        if self._store is not None:
+            self._store.results.invalidate_reuse(dataset, version)
+            return
+        for index in self._reuse_indexes.values():
+            index.invalidate_before(dataset, version)
+
     # -- release serving -------------------------------------------------
     def _tenant_for(self, body: Mapping[str, Any]) -> Tenant:
         tenant_id = body.get("tenant") if isinstance(body, Mapping) else None
@@ -516,6 +613,42 @@ class PrivBasisService:
         self._admit()
         try:
             session = await self.get_session(tenant.dataset)
+            self._bind_auto(request, tenant.dataset)
+            reuse_block: Optional[Dict[str, Any]] = None
+            if (
+                self._reuse_enabled
+                and "planner" not in request
+                and "noise" not in request
+            ):
+                # Reuse-first: a dominated plain request is answered
+                # by truncating the tenant's stored release — pure
+                # post-processing, so no charge, no lock, no data
+                # touched, no noise drawn.  The lookup reads the live
+                # snapshot version; entries can only ever be from the
+                # same tenant (indexes are per-tenant by construction).
+                decision = self._reuse_lookup(
+                    tenant, session.snapshot_version,
+                    request["k"], request["epsilon"],
+                )
+                if decision.hit:
+                    payload = top_k_truncate(
+                        decision.source.payload,
+                        request["k"], request["epsilon"],
+                    )
+                    self._reuse_metrics.hit(request["epsilon"])
+                    return {
+                        "tenant": tenant.tenant_id,
+                        "dataset": tenant.dataset,
+                        **payload,
+                        "reuse": {
+                            "hit": True,
+                            "epsilon_charged": 0.0,
+                            "epsilon_saved": request["epsilon"],
+                            "source": decision.source.describe(),
+                        },
+                    }
+                reuse_block = {"hit": False, "reason": decision.reason}
+                self._reuse_metrics.miss()
             # Charge on the event loop thread *before* any noise is
             # drawn: spends are serialized (no budget race) and a
             # failed release after the charge errs on the safe side —
@@ -535,13 +668,18 @@ class PrivBasisService:
         finally:
             self._release_slot()
         self._stage_metrics.record(result.trace)
+        self._history_for(tenant.dataset).observe(result.trace)
+        self._remember_reuse(tenant, result)
         self._persist_release(tenant, result)
         await self._barrier()
-        return {
+        response = {
             "tenant": tenant.tenant_id,
             "dataset": tenant.dataset,
             **result_to_wire(result, include_trace=include_trace),
         }
+        if reuse_block is not None:
+            response["reuse"] = reuse_block
+        return response
 
     async def handle_release_batch(
         self, body: Mapping[str, Any]
@@ -556,6 +694,8 @@ class PrivBasisService:
         self._admit(weight=len(requests))
         try:
             session = await self.get_session(tenant.dataset)
+            for request in requests:
+                self._bind_auto(request, tenant.dataset)
             # All-or-nothing admission against the journaled spent
             # value (tenant.remaining), so a freshly recovered ledger
             # and a long-running one refuse an oversized batch through
@@ -578,6 +718,8 @@ class PrivBasisService:
             self._release_slot(weight=len(requests))
         for result in results:
             self._stage_metrics.record(result.trace)
+            self._history_for(tenant.dataset).observe(result.trace)
+            self._remember_reuse(tenant, result)
             self._persist_release(tenant, result)
         await self._barrier()
         return {
@@ -645,6 +787,11 @@ class PrivBasisService:
             )
         finally:
             self._release_slot()
+        # Releases stored on older snapshots stop being reuse sources
+        # the moment the data moves; correctness never depends on this
+        # (lookups key on the live snapshot version, which the ingest
+        # just advanced), it only frees the stale entries.
+        self._invalidate_reuse(tenant.dataset, version)
         return {
             "tenant": tenant.tenant_id,
             "dataset": tenant.dataset,
@@ -696,17 +843,51 @@ class PrivBasisService:
             )
         tenant = self._registry.get(tenant_id)
         params = parse_plan_query(query)
+        planner = params["planner"]
+        if isinstance(planner, AutoPlanner) and planner.history is None:
+            planner.bind(self._history_for(tenant.dataset))
         plan = build_plan(
-            params["k"], params["epsilon"], planner=params["planner"]
+            params["k"], params["epsilon"], planner=planner
         )
         remaining = tenant.remaining
-        return {
+        response = {
             "tenant": tenant.tenant_id,
             "dataset": tenant.dataset,
             "remaining": remaining,
             "affordable": params["epsilon"] <= remaining * (1 + 1e-9),
             **plan.describe(),
         }
+        if self._reuse_enabled:
+            # Price the reuse path too — a hit would cost exactly 0.
+            # Only a warm session knows the live snapshot version; a
+            # cold dataset stays un-priced rather than building a
+            # session inside a handler documented as data-free.
+            session = self._sessions.get(tenant.dataset)
+            if session is None:
+                response["reuse"] = {
+                    "available": False,
+                    "reason": (
+                        "dataset not warm: reuse is priced against "
+                        "stored releases on the live snapshot"
+                    ),
+                }
+            else:
+                decision = self._reuse_lookup(
+                    tenant, session.snapshot_version,
+                    params["k"], params["epsilon"],
+                )
+                if decision.hit:
+                    response["reuse"] = {
+                        "available": True,
+                        "epsilon": 0.0,
+                        "source": decision.source.describe(),
+                    }
+                else:
+                    response["reuse"] = {
+                        "available": False,
+                        "reason": decision.reason,
+                    }
+        return response
 
     def handle_budget(self, tenant_id: str) -> Dict[str, Any]:
         """``GET /v1/budget?tenant=…`` — the tenant's ledger snapshot."""
@@ -804,6 +985,7 @@ class PrivBasisService:
             "in_flight": self._in_flight,
             "max_inflight": self._max_inflight,
             "pipeline": self._stage_metrics.snapshot(),
+            "reuse": self._reuse_metrics.snapshot(),
             "coalescer": self._coalescer.stats(),
             "datasets": {
                 name: session.stats()

@@ -124,6 +124,12 @@ class ClusterConfig:
         memory-mapped shard segments under the shared state dir
         (unique per-build directories, so workers never race) and
         serve out-of-core with the given resident-cache budget.
+    reuse:
+        Per-worker reuse plane toggle (``--no-reuse`` sets this
+        ``False``).  Each worker looks up reuse sources in the shared
+        result store it itself replayed at startup; hits are pure
+        post-processing, so workers answering from different replay
+        points is safe — at worst a worker misses and runs fresh.
     """
 
     tenants: Mapping[str, Mapping[str, object]]
@@ -137,6 +143,7 @@ class ClusterConfig:
     shard_size: Optional[int] = None
     data_plane: str = "memory"
     memory_budget_mb: Optional[int] = None
+    reuse: bool = True
 
     def validate(self) -> None:
         """Fail fast on a config no worker could start from."""
@@ -240,6 +247,7 @@ async def _worker_serve(index: int, config: ClusterConfig, conn) -> None:
             ),
             shard_size=config.shard_size,
             shard_workers=config.shard_workers,
+            reuse=config.reuse,
         )
         _host, port = await service.start("127.0.0.1", 0)
     except Exception as error:  # noqa: BLE001 — crosses the pipe

@@ -18,7 +18,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Tuple
 
-__all__ = ["LatencyHistogram", "ServiceMetrics", "StageMetrics"]
+__all__ = [
+    "LatencyHistogram",
+    "ReuseMetrics",
+    "ServiceMetrics",
+    "StageMetrics",
+]
 
 #: Upper bucket bounds in milliseconds.  Cold PrivBasis releases land
 #: in the hundreds of ms, warm ones in single digits, so the grid is
@@ -139,6 +144,48 @@ class StageMetrics:
                 }
                 for name, entry in sorted(self._stages.items())
             },
+        }
+
+
+class ReuseMetrics:
+    """Hit/miss counters for the cross-release reuse plane.
+
+    Tracks how often ``/v1/release`` was answered by post-processing a
+    stored release instead of running the mechanism, and the total ε
+    those hits would otherwise have cost (``epsilon_saved`` — every
+    hit is charged exactly 0, so this is pure budget recovered).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = bool(enabled)
+        self._hits = 0
+        self._misses = 0
+        self._epsilon_saved = 0.0
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def hit(self, epsilon_saved: float) -> None:
+        """Record one reuse-served release and the ε it avoided."""
+        self._hits += 1
+        self._epsilon_saved += float(epsilon_saved)
+
+    def miss(self) -> None:
+        """Record one release that had to run the mechanism."""
+        self._misses += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``reuse`` section of ``/metrics``."""
+        return {
+            "enabled": self._enabled,
+            "hits": self._hits,
+            "misses": self._misses,
+            "epsilon_saved": self._epsilon_saved,
         }
 
 

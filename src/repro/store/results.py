@@ -27,6 +27,21 @@ per-tenant window of the most recent payloads
 (:data:`RESULT_RETENTION`) for ``GET /v1/results``.  A service that
 has released millions of answers does not hold millions of payloads
 resident.
+
+Ordering: every record carries a monotonically increasing
+``seq`` assigned at :meth:`ResultStore.record` time and embedded *in
+the record payload* — deliberately not the WAL frame number, which
+:meth:`~repro.store.wal.WriteAheadLog.rewrite` renumbers from zero on
+compaction.  ``results_for`` sorts its window by this sequence, so a
+client's release history keeps its original order even across a
+mid-run compaction or a restart over a compacted WAL.
+
+The store also feeds the **reuse plane**
+(:mod:`repro.pipeline.reuse`): each tenant gets its own
+:class:`~repro.pipeline.reuse.ReuseIndex` over its stored releases —
+per-tenant by construction, so reuse can never cross a tenant
+boundary — rebuilt for free from the same WAL replay that fills the
+window, which is how stored answers stay reusable across restarts.
 """
 
 from __future__ import annotations
@@ -36,6 +51,7 @@ from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import ValidationError
+from repro.pipeline.reuse import ReuseDecision, ReuseIndex
 from repro.store.wal import WriteAheadLog
 
 __all__ = ["ResultStore", "RESULT_RETENTION"]
@@ -82,29 +98,41 @@ class ResultStore:
         self._retention = retention
         #: Per-tenant most-recent entries, oldest first, bounded.
         self._by_tenant: Dict[str, Deque[Dict[str, Any]]] = {}
+        #: Per-tenant reuse indexes over stored releases.
+        self._reuse: Dict[str, ReuseIndex] = {}
         #: Exact running aggregates over the *full* history.
         self._counts: Dict[str, int] = {}
         self._epsilon: Dict[str, float] = {}
         self._count = 0
         self._torn_records = 0
+        #: Next record-level sequence number (survives compaction —
+        #: see the module docstring's ordering note).
+        self._next_seq = 0
         self._load()
 
     def _load(self) -> None:
         replay = self._wal.replay()
         self._torn_records = replay.torn_records
-        for record in replay:
+        for position, record in enumerate(replay):
             if record.get("type") != "result":
                 continue
+            # Records written before sequences existed fall back to
+            # their replay position, which preserves their pre-upgrade
+            # order (position order *was* the order back then).
+            seq = record.get("seq")
+            if not isinstance(seq, int) or isinstance(seq, bool):
+                seq = position
             self._remember(
                 str(record["tenant"]),
                 str(record["dataset"]),
                 int(record["snapshot_version"]),
                 dict(record["payload"]),
+                seq=seq,
             )
 
     def _remember(
         self, tenant: str, dataset: str, version: int,
-        payload: Dict[str, Any],
+        payload: Dict[str, Any], seq: int,
     ) -> None:
         window = self._by_tenant.get(tenant)
         if window is None:
@@ -113,11 +141,16 @@ class ResultStore:
             )
         window.append(
             {
+                "seq": seq,
                 "dataset": dataset,
                 "snapshot_version": version,
                 "payload": payload,
             }
         )
+        index = self._reuse.get(tenant)
+        if index is None:
+            index = self._reuse[tenant] = ReuseIndex()
+        index.add(dataset, version, payload)
         self._counts[dataset] = self._counts.get(dataset, 0) + 1
         epsilon = payload.get("epsilon", 0.0)
         if isinstance(epsilon, (int, float)) and not isinstance(
@@ -127,6 +160,7 @@ class ResultStore:
                 dataset, 0.0
             ) + float(epsilon)
         self._count += 1
+        self._next_seq = max(self._next_seq, seq + 1)
 
     @property
     def torn_records(self) -> int:
@@ -157,16 +191,20 @@ class ResultStore:
                 "result records need non-empty tenant and dataset"
             )
         version = int(snapshot_version or 0)
+        seq = self._next_seq
         self._wal.append(
             {
                 "type": "result",
+                "seq": seq,
                 "tenant": str(tenant),
                 "dataset": str(dataset),
                 "snapshot_version": version,
                 "payload": dict(payload),
             }
         )
-        self._remember(str(tenant), str(dataset), version, dict(payload))
+        self._remember(
+            str(tenant), str(dataset), version, dict(payload), seq=seq
+        )
 
     def sync(self) -> None:
         """Durability barrier (shared with the ledger's, typically)."""
@@ -194,8 +232,16 @@ class ResultStore:
         (free post-processing) after a restart.  Serves the bounded
         in-memory window (the ``retention`` most recent releases);
         ``limit`` trims to the newest ``limit`` of those.
+
+        Sorted by each record's embedded release sequence, not WAL
+        position: a compaction can rewrite the WAL mid-run, and a
+        store reloaded over the compacted file must present the same
+        order clients saw before (see module docstring).
         """
-        window = list(self._by_tenant.get(tenant, ()))
+        window = sorted(
+            self._by_tenant.get(tenant, ()),
+            key=lambda entry: entry.get("seq", 0),
+        )
         if limit is not None and limit >= 0:
             window = window[len(window) - min(limit, len(window)):]
         return window
@@ -217,6 +263,65 @@ class ResultStore:
         full-history semantics as :meth:`release_counts`.
         """
         return dict(self._epsilon)
+
+    # ------------------------------------------------------------------
+    # Reuse plane
+    # ------------------------------------------------------------------
+    def reuse_lookup(
+        self,
+        tenant: str,
+        dataset: str,
+        snapshot_version: int,
+        k: int,
+        epsilon: float,
+    ) -> ReuseDecision:
+        """Can a stored release of *this tenant* answer (k, ε)?
+
+        Scoped per tenant by construction — each tenant's index only
+        ever sees that tenant's stored payloads — so a hit can never
+        leak another tenant's release.  Unknown tenants get a plain
+        miss, indistinguishable from an empty index.
+        """
+        index = self._reuse.get(tenant)
+        if index is None:
+            return ReuseDecision(
+                hit=False,
+                reason=(
+                    f"no stored release for dataset {dataset!r} at "
+                    f"snapshot {int(snapshot_version)}"
+                ),
+            )
+        return index.lookup(dataset, snapshot_version, k, epsilon)
+
+    def invalidate_reuse(self, dataset: str, version: int) -> int:
+        """Drop reuse entries for ``dataset`` older than ``version``.
+
+        Called after ingestion advances a dataset's snapshot; stale
+        releases stay in the WAL (they remain the audit record and are
+        still re-readable) but stop being reuse sources.  Returns the
+        total entries dropped across all tenants.
+        """
+        dropped = 0
+        for index in self._reuse.values():
+            dropped += index.invalidate_before(dataset, version)
+        return dropped
+
+    def reuse_stats(self) -> Dict[str, object]:
+        """Aggregate reuse-index telemetry across tenants."""
+        entries = 0
+        keys = 0
+        invalidated = 0
+        for index in self._reuse.values():
+            snapshot = index.stats()
+            entries += int(snapshot["entries"])
+            keys += int(snapshot["keys"])
+            invalidated += int(snapshot["invalidated"])
+        return {
+            "tenants": len(self._reuse),
+            "entries": entries,
+            "keys": keys,
+            "invalidated": invalidated,
+        }
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -248,6 +353,7 @@ class ResultStore:
             "by_dataset": self.release_counts(),
             "wal_bytes": self._wal.size_bytes(),
             "torn_records": self._torn_records,
+            "reuse": self.reuse_stats(),
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,788 @@
+"""DP-soundness property suite for the cross-release reuse plane.
+
+Four families of properties over randomized ``(k, ε, k', ε',
+snapshot)`` schedules (generators in ``tests/pipeline/strategies.py``;
+example budget widens under ``REPRO_PROPERTY_PROFILE=nightly``):
+
+1. **Purity** — a reuse answer is a pure function of the stored
+   payload: repeats are bit-identical, zero backend queries run (the
+   query-counting probe and the cache counters both stay flat, and a
+   *sealed* backend — one that raises on any data access — still
+   answers hits).
+2. **Accounting** — the ledger debits exactly 0 on a hit and exactly
+   the planned ε on a miss; ε saved is tallied, never spent.
+3. **Scoping** — reuse never crosses a snapshot version (at the
+   session) or a tenant boundary (at the service/store).
+4. **Invalidation** — an interleaved ingest invalidates exactly the
+   stale entries: earlier-version entries of that dataset drop, the
+   live version and other datasets survive, and the reported drop
+   count is exact.
+
+Plus golden rows pinning :func:`top_k_truncate` outputs — including
+that a reuse-served ``(k', ε')`` equals the truncation of the stored
+release — and cold-start coverage for :class:`AutoPlanner`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.engine.bitmap import BitmapBackend
+from repro.engine.cache import CachedBackend
+from repro.engine.session import PrivBasisSession
+from repro.errors import ValidationError
+from repro.pipeline import (
+    AutoPlanner,
+    PaperPlanner,
+    QueryCountingBackend,
+    ReuseIndex,
+    TraceHistory,
+    payload_from_result,
+    planner_names,
+    resolve_planner,
+    reuse_covers,
+    top_k_truncate,
+)
+from repro.service.app import PrivBasisService
+from repro.service.registry import TenantRegistry
+from tests.pipeline.strategies import (
+    SealableBackend,
+    epsilons,
+    ks,
+    request_pairs,
+    request_schedules,
+    small_databases,
+    transaction_lists,
+)
+
+# ---------------------------------------------------------------------------
+# The utility bound: reuse_covers
+# ---------------------------------------------------------------------------
+
+
+class TestReuseCovers:
+    @given(request_pairs())
+    def test_identical_request_is_never_covered(self, pair):
+        k, epsilon = pair
+        assert not reuse_covers(k, epsilon, k, epsilon)
+
+    @given(request_pairs(), ks(), epsilons())
+    def test_hit_implies_dominated_and_not_identical(
+        self, stored, k, epsilon
+    ):
+        stored_k, stored_eps = stored
+        if reuse_covers(stored_k, stored_eps, k, epsilon):
+            assert k <= stored_k
+            assert epsilon <= stored_eps * (1 + 1e-9)
+            assert (k, epsilon) != (stored_k, stored_eps)
+
+    @given(request_pairs(), st.integers(min_value=1, max_value=50))
+    def test_wider_k_is_never_covered(self, stored, extra):
+        stored_k, stored_eps = stored
+        assert not reuse_covers(
+            stored_k, stored_eps, stored_k + extra, stored_eps
+        )
+
+    @given(request_pairs(), st.floats(min_value=0.01, max_value=2.0))
+    def test_larger_epsilon_is_never_covered(self, stored, extra):
+        stored_k, stored_eps = stored
+        assert not reuse_covers(
+            stored_k, stored_eps, stored_k, stored_eps + extra
+        )
+
+    @given(request_pairs())
+    def test_strict_domination_is_covered(self, stored):
+        stored_k, stored_eps = stored
+        assume(stored_k > 1)
+        assert reuse_covers(
+            stored_k, stored_eps, stored_k - 1, stored_eps / 2
+        )
+
+    @given(request_pairs())
+    def test_degenerate_requests_are_never_covered(self, stored):
+        stored_k, stored_eps = stored
+        assert not reuse_covers(stored_k, stored_eps, 0, stored_eps)
+        assert not reuse_covers(stored_k, stored_eps, stored_k, 0.0)
+        assert not reuse_covers(stored_k, stored_eps, stored_k, -1.0)
+
+    def test_last_ulp_epsilon_counts_as_identical(self):
+        # Wire round-trips can wobble ε in the last ulp; that must
+        # still be the freshness carve-out, not a reuse hit.
+        eps = 0.7
+        assert not reuse_covers(10, eps, 10, eps * (1 + 1e-12))
+        assert not reuse_covers(10, eps, 10, eps * (1 - 1e-12))
+
+
+# ---------------------------------------------------------------------------
+# The post-processor: top_k_truncate
+# ---------------------------------------------------------------------------
+
+GOLDEN_PAYLOAD = {
+    "method": "privbasis",
+    "k": 4,
+    "epsilon": 1.0,
+    "itemsets": [
+        {"items": [2], "noisy_count": 80.0, "noisy_frequency": 0.8},
+        {"items": [0, 1], "noisy_count": 95.0, "noisy_frequency": 0.95},
+        {"items": [3], "noisy_count": 80.0, "noisy_frequency": 0.8},
+        {"items": [5], "noisy_count": 10.0, "noisy_frequency": 0.1},
+    ],
+    "snapshot_version": 7,
+}
+
+
+class TestTopKTruncate:
+    def test_golden_row(self):
+        # Pinned output: re-ranked by noisy frequency, frequency ties
+        # broken on the item tuple ([2] before [3]), truncated to 2,
+        # (k, ε) re-stamped, snapshot preserved, stats verbatim.
+        assert top_k_truncate(GOLDEN_PAYLOAD, 2, 0.25) == {
+            "method": "privbasis",
+            "k": 2,
+            "epsilon": 0.25,
+            "itemsets": [
+                {
+                    "items": [0, 1],
+                    "noisy_count": 95.0,
+                    "noisy_frequency": 0.95,
+                },
+                {"items": [2], "noisy_count": 80.0, "noisy_frequency": 0.8},
+            ],
+            "snapshot_version": 7,
+        }
+
+    def test_rejects_k_beyond_stored(self):
+        with pytest.raises(ValidationError):
+            top_k_truncate(GOLDEN_PAYLOAD, 5, 0.5)
+
+    def test_rejects_malformed_request(self):
+        with pytest.raises(ValidationError):
+            top_k_truncate(GOLDEN_PAYLOAD, 0, 0.5)
+        with pytest.raises(ValidationError):
+            top_k_truncate(GOLDEN_PAYLOAD, True, 0.5)
+        with pytest.raises(ValidationError):
+            top_k_truncate(GOLDEN_PAYLOAD, 2, 0.0)
+
+    def test_does_not_mutate_the_stored_payload(self):
+        import copy
+
+        snapshot = copy.deepcopy(GOLDEN_PAYLOAD)
+        top_k_truncate(GOLDEN_PAYLOAD, 2, 0.25)
+        assert GOLDEN_PAYLOAD == snapshot
+
+    @given(st.integers(min_value=1, max_value=4), epsilons())
+    def test_bit_identical_across_calls(self, k, epsilon):
+        first = top_k_truncate(GOLDEN_PAYLOAD, k, epsilon)
+        second = top_k_truncate(GOLDEN_PAYLOAD, k, epsilon)
+        assert first == second
+
+    @given(st.integers(min_value=1, max_value=4), epsilons())
+    def test_idempotent(self, k, epsilon):
+        once = top_k_truncate(GOLDEN_PAYLOAD, k, epsilon)
+        twice = top_k_truncate(once, k, epsilon)
+        assert once == twice
+
+    @given(st.integers(min_value=1, max_value=4), epsilons())
+    def test_output_is_sorted_and_sized(self, k, epsilon):
+        out = top_k_truncate(GOLDEN_PAYLOAD, k, epsilon)
+        assert len(out["itemsets"]) == k
+        frequencies = [
+            entry["noisy_frequency"] for entry in out["itemsets"]
+        ]
+        assert frequencies == sorted(frequencies, reverse=True)
+        assert out["k"] == k and out["epsilon"] == float(epsilon)
+
+
+# ---------------------------------------------------------------------------
+# The index: dominance frontier, bounds, exact invalidation
+# ---------------------------------------------------------------------------
+
+
+def _release_payload(k, epsilon):
+    return {
+        "method": "privbasis",
+        "k": k,
+        "epsilon": epsilon,
+        "itemsets": [
+            {
+                "items": [i],
+                "noisy_count": float(k - i),
+                "noisy_frequency": (k - i) / k,
+            }
+            for i in range(k)
+        ],
+    }
+
+
+class TestReuseIndex:
+    @given(st.lists(request_pairs(), min_size=1, max_size=12))
+    def test_frontier_holds_no_dominated_pairs(self, stored):
+        index = ReuseIndex()
+        for k, epsilon in stored:
+            index.add("d", 0, _release_payload(k, epsilon))
+        entries = index._frontier.get(("d", 0), [])
+        for a in entries:
+            for b in entries:
+                if a is b:
+                    continue
+                assert not (
+                    a.k >= b.k and a.epsilon >= b.epsilon * (1 - 1e-9)
+                ), "frontier kept a dominated entry"
+
+    @given(
+        st.lists(request_pairs(), min_size=1, max_size=12),
+        request_pairs(),
+    )
+    def test_lookup_hit_iff_some_stored_covers(self, stored, request):
+        index = ReuseIndex()
+        kept = []
+        for k, epsilon in stored:
+            if index.add("d", 3, _release_payload(k, epsilon)):
+                kept.append((k, epsilon))
+        rk, reps = request
+        decision = index.lookup("d", 3, rk, reps)
+        expected = any(
+            reuse_covers(k, epsilon, rk, reps) for k, epsilon in stored
+        )
+        assert decision.hit == expected
+        if decision.hit:
+            assert reuse_covers(
+                decision.source.k, decision.source.epsilon, rk, reps
+            )
+            assert decision.epsilon_saved == float(reps)
+
+    @given(st.lists(request_pairs(), min_size=1, max_size=8))
+    def test_lookup_never_crosses_dataset_or_snapshot(self, stored):
+        index = ReuseIndex()
+        for k, epsilon in stored:
+            index.add("d", 1, _release_payload(k, epsilon))
+        assert not index.lookup("other", 1, 1, 1e-6).hit
+        assert not index.lookup("d", 0, 1, 1e-6).hit
+        assert not index.lookup("d", 2, 1, 1e-6).hit
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["d1", "d2"]),
+                st.integers(min_value=0, max_value=3),
+                request_pairs(),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_invalidation_is_exact(self, stored, cutoff):
+        index = ReuseIndex()
+        for dataset, version, (k, epsilon) in stored:
+            index.add(dataset, version, _release_payload(k, epsilon))
+        stale = sum(
+            len(entries)
+            for (dataset, version), entries in index._frontier.items()
+            if dataset == "d1" and version < cutoff
+        )
+        survivors_before = {
+            key: len(entries)
+            for key, entries in index._frontier.items()
+            if not (key[0] == "d1" and key[1] < cutoff)
+        }
+        dropped = index.invalidate_before("d1", cutoff)
+        assert dropped == stale
+        assert {
+            key: len(entries)
+            for key, entries in index._frontier.items()
+        } == survivors_before
+        assert index.stats()["invalidated"] == stale
+
+    def test_index_is_bounded_per_key(self):
+        index = ReuseIndex(max_entries_per_key=4)
+        # An anti-chain: k rising while ε falls — nothing dominates.
+        for i in range(20):
+            index.add(
+                "d", 0, _release_payload(i + 1, 10.0 / (i + 1))
+            )
+        assert len(index) <= 4
+
+    def test_non_release_payloads_are_ignored(self):
+        index = ReuseIndex()
+        assert not index.add("d", 0, {"note": "not a release"})
+        assert not index.add("d", 0, {"k": 0, "epsilon": 1.0})
+        assert not index.add(
+            "d", 0, {"k": 3, "epsilon": -1.0, "itemsets": []}
+        )
+        assert not index.add(
+            "d", 0, {"k": True, "epsilon": 1.0, "itemsets": []}
+        )
+        assert len(index) == 0
+
+
+# ---------------------------------------------------------------------------
+# Session-level soundness over randomized schedules
+# ---------------------------------------------------------------------------
+
+
+def _session(db, reuse=True, probe=None, seed=0):
+    backend = CachedBackend(
+        probe if probe is not None else BitmapBackend(db)
+    )
+    return PrivBasisSession(db, backend=backend, reuse=reuse, rng=seed)
+
+
+class TestSessionReuse:
+    @given(small_databases(), ks(max_k=8), epsilons())
+    def test_hits_are_bit_identical_and_query_free(
+        self, db, k, epsilon
+    ):
+        stored_k, stored_eps = k + 2, epsilon * 2
+        probe = QueryCountingBackend(BitmapBackend(db))
+        session = _session(db, probe=probe, seed=11)
+        cold = session.release(k=stored_k, epsilon=stored_eps)
+        assert cold.reuse is None
+        queries_before = probe.counts()
+        cache_before = session.cache_info()
+        first = session.release(k=k, epsilon=epsilon)
+        second = session.release(k=k, epsilon=epsilon)
+        assert first.reuse is not None and first.reuse["hit"] is True
+        assert second.reuse is not None
+        # Pure function of the stored payload: bit-identical repeats.
+        assert payload_from_result(first) == payload_from_result(second)
+        # Golden linkage: the served answer IS the truncation of the
+        # stored release — nothing else.
+        assert payload_from_result(first) == top_k_truncate(
+            payload_from_result(cold), k, epsilon
+        )
+        # Zero data access: neither the probe nor the cache moved.
+        assert probe.counts() == queries_before
+        assert session.cache_info() == cache_before
+
+    @given(small_databases(), request_schedules(max_length=5))
+    def test_ledger_debits_zero_on_hits_exact_on_misses(
+        self, db, schedule
+    ):
+        session = _session(db, seed=3)
+        for step in schedule:
+            if step[0] == "ingest":
+                session.ingest(step[1])
+                continue
+            _, k, epsilon = step
+            spent_before = session.epsilon_spent
+            result = session.release(k=k, epsilon=epsilon)
+            delta = session.epsilon_spent - spent_before
+            if result.reuse is not None:
+                assert result.reuse["hit"] is True
+                assert delta == 0.0
+                assert result.reuse["epsilon_charged"] == 0.0
+            else:
+                assert math.isclose(
+                    delta, epsilon, rel_tol=1e-12, abs_tol=1e-15
+                )
+
+    @given(small_databases(), ks(max_k=8), epsilons())
+    def test_reuse_never_crosses_a_snapshot_boundary(
+        self, db, k, epsilon
+    ):
+        session = _session(db, seed=7)
+        session.release(k=k + 1, epsilon=epsilon * 2)
+        session.ingest([[0, 1], [2]])
+        crossed = session.release(k=k, epsilon=epsilon)
+        # The stored release is pinned to the old version; the new
+        # snapshot must be served by a fresh mechanism run.
+        assert crossed.reuse is None
+        assert crossed.snapshot_version == session.snapshot_version
+
+    @given(small_databases(), transaction_lists(1, 3))
+    def test_ingest_invalidates_exactly_the_stale_entries(
+        self, db, delta_rows
+    ):
+        session = _session(db, seed=13)
+        session.release(k=6, epsilon=1.0)
+        session.release(k=12, epsilon=0.25)  # anti-chain partner
+        stats_before = session.stats()["reuse"]
+        stale = stats_before["entries"]
+        session.ingest(delta_rows)
+        stats_after = session.stats()["reuse"]
+        assert stats_after["entries"] == 0
+        assert (
+            stats_after["invalidated"]
+            == stats_before["invalidated"] + stale
+        )
+        # Releases on the new snapshot become reuse sources again.
+        session.release(k=6, epsilon=1.0)
+        hit = session.release(k=3, epsilon=0.5)
+        assert hit.reuse is not None
+
+    @given(small_databases())
+    def test_identical_repeat_runs_fresh_and_is_charged(self, db):
+        session = _session(db, seed=29)
+        session.release(k=5, epsilon=1.0)
+        spent = session.epsilon_spent
+        repeat = session.release(k=5, epsilon=1.0)
+        assert repeat.reuse is None  # freshness carve-out
+        assert session.epsilon_spent > spent
+        assert session.reuse_hits == 0
+
+    def test_sealed_backend_still_answers_hits(self):
+        rows = [[0, 1, 2], [0, 1], [1, 2], [0], [1], [0, 1, 2]] * 10
+        from repro.datasets.transactions import TransactionDatabase
+
+        db = TransactionDatabase(rows, num_items=5)
+        sealable = SealableBackend(BitmapBackend(db))
+        session = PrivBasisSession(
+            db, backend=CachedBackend(sealable), reuse=True, rng=1
+        )
+        cold = session.release(k=6, epsilon=1.0)
+        sealable.seal()
+        hit = session.release(k=3, epsilon=0.5)
+        assert hit.reuse is not None
+        assert payload_from_result(hit) == top_k_truncate(
+            payload_from_result(cold), 3, 0.5
+        )
+
+    def test_sealed_backend_control_fresh_run_touches_data(self):
+        rows = [[0, 1], [1, 2], [0, 2]] * 10
+        from repro.datasets.transactions import TransactionDatabase
+
+        db = TransactionDatabase(rows, num_items=4)
+        sealable = SealableBackend(BitmapBackend(db))
+        session = PrivBasisSession(
+            db, backend=CachedBackend(sealable), reuse=True, rng=1
+        )
+        sealable.seal()  # nothing cached, nothing stored
+        with pytest.raises(AssertionError, match="sealed backend"):
+            session.release(k=3, epsilon=0.5)
+
+    def test_reuse_is_off_by_default(self):
+        rows = [[0, 1], [1, 2], [0, 2]] * 10
+        from repro.datasets.transactions import TransactionDatabase
+
+        db = TransactionDatabase(rows, num_items=4)
+        session = PrivBasisSession(db, rng=1)
+        assert not session.reuse_enabled
+        session.release(k=5, epsilon=1.0)
+        dominated = session.release(k=2, epsilon=0.5)
+        assert dominated.reuse is None
+        assert "reuse" not in session.stats()
+
+
+# ---------------------------------------------------------------------------
+# Service-level scoping: tenants, journaled ledgers, the wire
+# ---------------------------------------------------------------------------
+
+
+def _toy_database():
+    rng = np.random.default_rng(17)
+    rows = [
+        sorted(
+            set(rng.integers(0, 10, size=rng.integers(1, 5)).tolist())
+        )
+        for _ in range(150)
+    ]
+    from repro.datasets.transactions import TransactionDatabase
+
+    return TransactionDatabase(rows, num_items=10)
+
+
+def _service(tmp_path=None, reuse=True, tenants=None):
+    registry = TenantRegistry.from_mapping(
+        tenants
+        or {
+            "alice": {
+                "dataset": "toy", "epsilon_limit": 40.0, "ingest": True
+            },
+            "bob": {"dataset": "toy", "epsilon_limit": 40.0},
+        }
+    )
+    database = _toy_database()
+    return PrivBasisService(
+        registry,
+        dataset_loader=lambda name: database,
+        state_dir=str(tmp_path) if tmp_path is not None else None,
+        reuse=reuse,
+    )
+
+
+class TestServiceReuse:
+    def test_reuse_never_crosses_the_tenant_boundary(self):
+        async def scenario():
+            service = _service()
+            await service.handle_release(
+                {"tenant": "alice", "k": 10, "epsilon": 1.0}
+            )
+            bob = await service.handle_release(
+                {"tenant": "bob", "k": 5, "epsilon": 0.5}
+            )
+            alice = await service.handle_release(
+                {"tenant": "alice", "k": 5, "epsilon": 0.5}
+            )
+            await service.stop()
+            return bob, alice
+
+        bob, alice = asyncio.run(scenario())
+        # Bob's dominated request must NOT be served from Alice's
+        # stored release; Alice's own is.
+        assert bob["reuse"]["hit"] is False
+        assert alice["reuse"]["hit"] is True
+        assert alice["reuse"]["source"] == {
+            "k": 10, "epsilon": 1.0, "snapshot_version": 0,
+        }
+
+    def test_journaled_ledger_debits_zero_on_hits(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path)
+            await service.handle_release(
+                {"tenant": "alice", "k": 10, "epsilon": 1.0}
+            )
+            spent_before = service.registry.get("alice").spent
+            hit = await service.handle_release(
+                {"tenant": "alice", "k": 4, "epsilon": 0.25}
+            )
+            spent_after = service.registry.get("alice").spent
+            metrics = service.handle_metrics()
+            await service.stop()
+            return hit, spent_before, spent_after, metrics
+
+        hit, before, after, metrics = asyncio.run(scenario())
+        assert hit["reuse"]["hit"] is True
+        assert hit["reuse"]["epsilon_charged"] == 0.0
+        assert hit["reuse"]["epsilon_saved"] == 0.25
+        assert after == before  # the journaled ledger never moved
+        assert metrics["reuse"]["hits"] == 1
+        assert metrics["reuse"]["misses"] == 1
+        assert metrics["reuse"]["epsilon_saved"] == 0.25
+
+    def test_hit_payload_is_the_truncated_stored_release(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path)
+            cold = await service.handle_release(
+                {"tenant": "alice", "k": 8, "epsilon": 2.0}
+            )
+            hit = await service.handle_release(
+                {"tenant": "alice", "k": 3, "epsilon": 0.5}
+            )
+            await service.stop()
+            return cold, hit
+
+        cold, hit = asyncio.run(scenario())
+        stored = {
+            key: value
+            for key, value in cold.items()
+            if key in ("method", "k", "epsilon", "itemsets",
+                       "snapshot_version")
+        }
+        expected = top_k_truncate(stored, 3, 0.5)
+        served = {
+            key: value
+            for key, value in hit.items()
+            if key in ("method", "k", "epsilon", "itemsets",
+                       "snapshot_version")
+        }
+        assert served == expected
+
+    def test_plan_prices_a_hit_at_zero_epsilon(self):
+        async def scenario():
+            service = _service()
+            cold_plan = service.handle_plan(
+                {"tenant": "alice", "k": "5", "epsilon": "0.5"}
+            )
+            await service.handle_release(
+                {"tenant": "alice", "k": 10, "epsilon": 1.0}
+            )
+            warm_plan = service.handle_plan(
+                {"tenant": "alice", "k": "5", "epsilon": "0.5"}
+            )
+            uncovered = service.handle_plan(
+                {"tenant": "alice", "k": "50", "epsilon": "0.5"}
+            )
+            await service.stop()
+            return cold_plan, warm_plan, uncovered
+
+        cold_plan, warm_plan, uncovered = asyncio.run(scenario())
+        assert cold_plan["reuse"]["available"] is False
+        assert warm_plan["reuse"]["available"] is True
+        assert warm_plan["reuse"]["epsilon"] == 0.0
+        assert uncovered["reuse"]["available"] is False
+
+    def test_ingest_invalidates_service_reuse(self):
+        async def scenario():
+            service = _service()
+            await service.handle_release(
+                {"tenant": "alice", "k": 10, "epsilon": 1.0}
+            )
+            await service.handle_ingest(
+                {"tenant": "alice", "transactions": [[0, 1], [2]]}
+            )
+            stale = await service.handle_release(
+                {"tenant": "alice", "k": 5, "epsilon": 0.5}
+            )
+            await service.stop()
+            return stale
+
+        stale = asyncio.run(scenario())
+        assert stale["reuse"]["hit"] is False
+        assert stale["snapshot_version"] == 1
+
+    def test_reuse_sources_survive_a_restart(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path)
+            await service.handle_release(
+                {"tenant": "alice", "k": 10, "epsilon": 1.0}
+            )
+            await service.stop()
+            reborn = _service(tmp_path)
+            hit = await reborn.handle_release(
+                {"tenant": "alice", "k": 5, "epsilon": 0.5}
+            )
+            await reborn.stop()
+            return hit
+
+        hit = asyncio.run(scenario())
+        assert hit["reuse"]["hit"] is True
+        assert hit["reuse"]["source"]["k"] == 10
+
+    def test_no_reuse_opts_out_entirely(self):
+        async def scenario():
+            service = _service(reuse=False)
+            await service.handle_release(
+                {"tenant": "alice", "k": 10, "epsilon": 1.0}
+            )
+            dominated = await service.handle_release(
+                {"tenant": "alice", "k": 5, "epsilon": 0.5}
+            )
+            plan = service.handle_plan(
+                {"tenant": "alice", "k": "5", "epsilon": "0.5"}
+            )
+            metrics = service.handle_metrics()
+            await service.stop()
+            return dominated, plan, metrics
+
+        dominated, plan, metrics = asyncio.run(scenario())
+        assert "reuse" not in dominated
+        assert "reuse" not in plan
+        assert metrics["reuse"] == {
+            "enabled": False,
+            "hits": 0,
+            "misses": 0,
+            "epsilon_saved": 0.0,
+        }
+
+    def test_no_reuse_cli_flag_parses(self):
+        from repro.service.__main__ import build_parser
+
+        arguments = build_parser().parse_args(["--no-reuse"])
+        assert arguments.no_reuse is True
+        assert build_parser().parse_args([]).no_reuse is False
+
+    def test_planner_and_noise_overrides_bypass_reuse(self):
+        async def scenario():
+            service = _service()
+            await service.handle_release(
+                {"tenant": "alice", "k": 10, "epsilon": 1.0}
+            )
+            planned = await service.handle_release(
+                {
+                    "tenant": "alice", "k": 5, "epsilon": 0.5,
+                    "planner": "adaptive",
+                }
+            )
+            noised = await service.handle_release(
+                {
+                    "tenant": "alice", "k": 5, "epsilon": 0.5,
+                    "noise": "geometric",
+                }
+            )
+            await service.stop()
+            return planned, noised
+
+        planned, noised = asyncio.run(scenario())
+        # Overridden requests run fresh: no reuse block at all (the
+        # lookup is never consulted for them).
+        assert "reuse" not in planned
+        assert "reuse" not in noised
+
+
+# ---------------------------------------------------------------------------
+# AutoPlanner cold start
+# ---------------------------------------------------------------------------
+
+
+class _FakeTrace:
+    def __init__(self, branch):
+        self.branch = branch
+
+
+class TestAutoPlannerColdStart:
+    def test_auto_is_a_registered_planner_name(self):
+        assert "auto" in planner_names()
+        assert isinstance(resolve_planner("auto"), AutoPlanner)
+
+    def test_cold_history_falls_back_to_paper(self):
+        history = TraceHistory()
+        assert len(history) == 0
+        assert history.suggest() == "paper"
+        planner = AutoPlanner().bind(history)
+        assert planner.chosen() == "paper"
+        assert isinstance(planner._delegate(), PaperPlanner)
+
+    def test_unbound_auto_planner_defaults_to_paper(self):
+        planner = AutoPlanner()
+        assert planner.history is None
+        assert planner.chosen() == "paper"
+        paper = PaperPlanner()
+        args = dict(
+            lam=8, k=10, eta=1.2, alpha2_epsilon=0.4,
+            single_basis_lambda=12,
+        )
+        assert (
+            planner.selection_allocation(**args).__dict__
+            == paper.selection_allocation(**args).__dict__
+        )
+
+    def test_majority_single_basis_switches_to_adaptive(self):
+        history = TraceHistory()
+        for _ in range(3):
+            history.observe(_FakeTrace("single_basis"))
+        history.observe(_FakeTrace("multi_basis"))
+        planner = AutoPlanner().bind(history)
+        assert history.suggest() == "adaptive"
+        assert planner.chosen() == "adaptive"
+
+    def test_tie_or_minority_stays_paper(self):
+        history = TraceHistory()
+        history.observe(_FakeTrace("single_basis"))
+        history.observe(_FakeTrace("multi_basis"))
+        assert history.suggest() == "paper"
+
+    def test_describe_reports_policy_and_observations(self):
+        history = TraceHistory()
+        history.observe(_FakeTrace("single_basis"))
+        planner = AutoPlanner().bind(history)
+        description = planner.describe()
+        assert description["policy"] in ("paper", "adaptive")
+        assert description["observed"] == {"single_basis": 1}
+
+    def test_auto_rejects_custom_alphas(self):
+        with pytest.raises(ValidationError):
+            resolve_planner(
+                {"name": "auto", "alphas": [0.5, 0.25, 0.25]}
+            )
+
+    def test_cold_service_session_serves_auto_via_paper_path(self):
+        async def scenario():
+            service = _service()
+            result = await service.handle_release(
+                {
+                    "tenant": "alice", "k": 6, "epsilon": 1.0,
+                    "planner": "auto", "trace": True,
+                }
+            )
+            await service.stop()
+            return result
+
+        result = asyncio.run(scenario())
+        assert result["trace"]["planner"] == "auto"

@@ -92,21 +92,29 @@ class TestRestartRecovery:
                     results = await c.results()
                     health_warm = await c.healthz()
                     metrics = await c.metrics()
-                    # bob has 0.1 left of its 1.0 limit: over-limit
-                    # requests must still be refused after recovery.
+                    # bob's (5, 0.5) is dominated by its own stored
+                    # (5, 0.9) release: the recovered reuse plane
+                    # serves it by post-processing at ε = 0 — no
+                    # refusal, no charge, even with only 0.1 left.
+                    reused = await c.release(
+                        k=5, epsilon=0.5, tenant="bob"
+                    )
+                    # An *uncovered* over-limit request (k wider than
+                    # anything bob stored) must still run fresh and be
+                    # refused after recovery.
                     with pytest.raises(BudgetExceededError) as info:
-                        await c.release(k=5, epsilon=0.5, tenant="bob")
+                        await c.release(k=6, epsilon=0.5, tenant="bob")
                     # A release that fits still works, on the
                     # recovered snapshot.
                     third = await c.release(k=8, epsilon=0.25)
             return (
                 health, snapshot, alice, bob, results, health_warm,
-                metrics, info.value, third,
+                metrics, reused, info.value, third,
             )
 
         (
             health, snapshot2, alice2, bob2, results2, health_warm,
-            metrics, refusal, third,
+            metrics, reused, refusal, third,
         ) = asyncio.run(after_restart())
 
         # -- ledgers match pre-crash state exactly ---------------------
@@ -156,6 +164,11 @@ class TestRestartRecovery:
         assert stats["num_releases"] == 3  # 2 alice + 1 bob, pre-crash
         assert stats["epsilon_spent"] == pytest.approx(1.65)
 
+        # -- reuse sources survived the crash: bob's dominated request
+        #    was answered from its stored release, free ---------------
+        assert reused["reuse"]["hit"] is True
+        assert reused["reuse"]["epsilon_charged"] == 0.0
+        assert reused["reuse"]["source"]["k"] == 5
         # -- over-limit tenant still refused, same structured error ----
         assert refusal.remaining == pytest.approx(0.1)
         # -- and the recovered service keeps serving -------------------
@@ -165,23 +178,25 @@ class TestRestartRecovery:
         # alice spends 2.0 before the crash and has 1.0 left; a
         # post-restart attempt to spend 1.5 must fail even though a
         # fresh in-memory ledger would have allowed it.  This is the
-        # exact attack a restart-resets-the-ledger bug enables.
+        # exact attack a restart-resets-the-ledger bug enables.  The
+        # post-restart request widens k so the recovered reuse plane
+        # cannot (correctly) serve it free from the stored release.
         state_dir = tmp_path / "state"
 
-        async def run_one(epsilon, expect_refusal):
+        async def run_one(k, epsilon, expect_refusal):
             service = make_service(state_dir)
             async with service.serving() as (host, port):
                 async with ServiceClient(host, port, tenant="alice") as c:
                     if expect_refusal:
                         with pytest.raises(BudgetExceededError):
-                            await c.release(k=5, epsilon=epsilon)
+                            await c.release(k=k, epsilon=epsilon)
                     else:
-                        await c.release(k=5, epsilon=epsilon)
+                        await c.release(k=k, epsilon=epsilon)
                     return await c.budget()
 
-        before = asyncio.run(run_one(2.0, expect_refusal=False))
+        before = asyncio.run(run_one(5, 2.0, expect_refusal=False))
         assert before["ledger"]["spent"] == pytest.approx(2.0)
-        after = asyncio.run(run_one(1.5, expect_refusal=True))
+        after = asyncio.run(run_one(6, 1.5, expect_refusal=True))
         # The refused attempt charged nothing; the journal still holds
         # exactly the pre-restart spend.
         assert after["ledger"]["spent"] == pytest.approx(2.0)
@@ -237,6 +252,70 @@ class TestRestartRecovery:
         assert snapshot["snapshot_version"] == 1
         assert snapshot["num_transactions"] == 201
         assert again["snapshot_version"] == 2
+
+    def test_results_stay_ordered_across_midrun_compaction(
+        self, tmp_path
+    ):
+        # Regression: ``ServiceClient.results()`` returned entries out
+        # of release order after a WAL compaction mid-run, because
+        # ordering leaned on WAL frame numbers and ``rewrite()``
+        # renumbers frames from zero.  Each record now embeds its own
+        # release sequence and ``results_for`` sorts by it.
+        state_dir = tmp_path / "state"
+
+        async def scenario():
+            service = make_service(state_dir)
+            async with service.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    await c.release(k=8, epsilon=0.5)
+                    await c.release(k=9, epsilon=0.4)
+                    # Mid-run maintenance compaction renumbers frames.
+                    service.store.results.compact()
+                    await c.release(k=10, epsilon=0.3)
+                    live = await c.results()
+
+            reborn = make_service(state_dir)
+            async with reborn.serving() as (host, port):
+                async with ServiceClient(host, port, tenant="alice") as c:
+                    recovered = await c.results()
+            return live, recovered
+
+        live, recovered = asyncio.run(scenario())
+        assert [e["payload"]["k"] for e in live["results"]] == [8, 9, 10]
+        assert recovered["results"] == live["results"]
+        assert [e["seq"] for e in recovered["results"]] == sorted(
+            e["seq"] for e in recovered["results"]
+        )
+
+    def test_results_sorted_by_seq_not_wal_order(self, tmp_path):
+        # The store must not trust WAL frame order at all: a WAL whose
+        # frames were rewritten out of release order (e.g. a compactor
+        # grouping records by dataset) still replays into a
+        # seq-ordered history.
+        from repro.store.results import ResultStore
+
+        store = ResultStore(tmp_path)
+        for k in (8, 9, 10):
+            store.record(
+                "alice", "d", 0, {"k": k, "epsilon": 0.5, "itemsets": []}
+            )
+        store.sync()
+        records = list(store._wal.replay())
+        store._wal.rewrite(list(reversed(records)))
+        store.close()
+
+        reloaded = ResultStore(tmp_path)
+        assert [
+            entry["payload"]["k"]
+            for entry in reloaded.results_for("alice")
+        ] == [8, 9, 10]
+        # New records keep extending the sequence past the maximum.
+        reloaded.record(
+            "alice", "d", 0, {"k": 11, "epsilon": 0.5, "itemsets": []}
+        )
+        assert [
+            entry["seq"] for entry in reloaded.results_for("alice")
+        ] == [0, 1, 2, 3]
 
     def test_torn_ledger_tail_is_reported_and_dropped(self, tmp_path):
         state_dir = tmp_path / "state"
